@@ -1,0 +1,86 @@
+// Command eptest runs an environment-perturbation fault-injection campaign
+// against a named target application and prints the campaign report: the
+// injection list, the violations, and the two-dimensional adequacy metric.
+//
+// Usage:
+//
+//	eptest -list
+//	eptest -campaign turnin [-fixed] [-per-point] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core/inject"
+	"repro/internal/core/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eptest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list available campaigns")
+		campaign = fs.String("campaign", "", "campaign to run (see -list)")
+		fixed    = fs.Bool("fixed", false, "run against the repaired program variant")
+		perPoint = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
+		verbose  = fs.Bool("v", false, "print every injection, not only violations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "available campaigns:")
+		for _, s := range apps.Catalog() {
+			fmt.Fprintf(stdout, "  %-18s %s\n", s.Name, s.Paper)
+		}
+		return 0
+	}
+	if *campaign == "" {
+		fmt.Fprintln(stderr, "eptest: -campaign required (or -list)")
+		fs.Usage()
+		return 2
+	}
+
+	spec, err := apps.Lookup(*campaign)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	c := spec.Vulnerable()
+	if *fixed {
+		c = spec.Fixed()
+	}
+	res, err := inject.Run(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: campaign failed: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, report.Campaign(res))
+	if *perPoint {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.PerPoint(res))
+	}
+	if *verbose {
+		fmt.Fprintln(stdout, "\nall injections:")
+		for _, in := range res.Injections {
+			status := "tolerated"
+			if !in.Tolerated() {
+				status = "VIOLATED"
+			}
+			fmt.Fprintf(stdout, "  %-28s %-44s %s\n", in.Point, in.FaultID, status)
+		}
+	}
+	if res.Metric().Violations() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{"turnin", "lpr", "ntreg-fontclean", "maildrop", "ftpget"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestMissingCampaignFlag(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-campaign required") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestUnknownCampaign(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-campaign", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown campaign") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestVulnerableCampaignExitsNonZero(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	code := run([]string{"-campaign", "lpr-create-site", "-per-point", "-v"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (violations found), stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"security violations         : 4",
+		"lpr:create",
+		"VIOLATED",
+		"interaction point (site)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFixedCampaignExitsZero(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	code := run([]string{"-campaign", "lpr-create-site", "-fixed"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fault coverage              : 1.000") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestTurninCampaignNumbers(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	code := run([]string{"-campaign", "turnin"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{
+		"faults injected (n)         : 41",
+		"security violations         : 9",
+		"points perturbed            : 8",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

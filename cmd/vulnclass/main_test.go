@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablesOutput(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"database: 195 entries; 26 insufficient info, 22 design errors, 5 configuration errors excluded",
+		"Table 1: high-level classification (total 142)",
+		"Table 2: indirect environment faults that cause security violations (total 81)",
+		"Table 3: direct environment faults that cause security violations (total 48)",
+		"Table 4: file system environment faults (total 42)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestEntriesOutput(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-entries"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Count(out.String(), "\n")
+	if lines != 195 {
+		t.Errorf("entry lines = %d, want 195", lines)
+	}
+	for _, want := range []string{
+		"VDB-UI-001",
+		"indirect via user-input",
+		"direct on file-system/symbolic-link",
+		"excluded: design-error",
+		"others (environment-independent)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("entries missing %q", want)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	t.Parallel()
+	if got := truncate("short", 40); got != "short" {
+		t.Errorf("truncate = %q", got)
+	}
+	long := strings.Repeat("x", 60)
+	got := truncate(long, 40)
+	if len(got) != 40 || !strings.HasSuffix(got, "...") {
+		t.Errorf("truncate = %q (len %d)", got, len(got))
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a tiny world, write a three-syscall set-UID program
+// against the simulated kernel, run an EAI fault-injection campaign at its
+// single environment interaction, and read the verdict.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/core/report"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/proc"
+)
+
+// notes is the program under test: a set-UID-root utility that appends a
+// line to a world-visible notes file. The flaw is the classic one — it
+// creats the file without O_EXCL, trusting that whatever sits at the path
+// is really its notes file.
+func notes(p *kernel.Proc) int {
+	f, err := p.Open("notes:open", "/var/notes/today",
+		kernel.OWrite|kernel.OCreate|kernel.OAppend, 0o644)
+	if err != nil {
+		p.Eprintf("notes: %v\n", err)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("notes:write", f, []byte("note: "+p.Arg("notes:arg", 1)+"\n")); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	// 1. A world factory: every injection run starts from this state.
+	world := func() (*kernel.Kernel, inject.Launch) {
+		k := kernel.New()
+		k.Users.Add(proc.User{Name: "alice", UID: 100, GID: 100})
+		k.Users.Add(proc.User{Name: "mallory", UID: 666, GID: 666})
+		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+		must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\n"), 0o644, 0, 0))
+		must(k.FS.MkdirAll("/", "/var/notes", 0o777, 0, 0)) // world-writable: anyone may note
+		return k, inject.Launch{
+			Cred: proc.Cred{UID: 100, GID: 100, EUID: 0, EGID: 0}, // set-UID root
+			Env:  proc.NewEnv("PATH", "/usr/bin"),
+			Cwd:  "/",
+			Args: []string{"notes", "remember the milk"},
+			Prog: notes,
+		}
+	}
+
+	// 2. The campaign: who invokes, who attacks, what may be written.
+	campaign := inject.Campaign{
+		Name:   "notes-quickstart",
+		World:  world,
+		Policy: policy.Policy{Invoker: proc.NewCred(100, 100), Attacker: proc.NewCred(666, 666)},
+		Faults: eai.Config{Attacker: proc.NewCred(666, 666)},
+		Sites:  []string{"notes:open"},
+	}
+
+	// 3. Run it: the engine enumerates the interaction points, injects
+	// every applicable Table 6 perturbation, and consults the oracle.
+	res, err := inject.Run(campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Campaign(res))
+
+	fmt.Println("\nWhat happened: the attacker pre-planted objects at /var/notes/today")
+	fmt.Println("before the privileged open. Because the program trusts whatever is")
+	fmt.Println("there (no O_EXCL, no lstat), the symbolic-link perturbation redirects")
+	fmt.Println("its root-privileged write into /etc/passwd.")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

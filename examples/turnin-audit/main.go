@@ -1,0 +1,118 @@
+// turnin-audit reproduces the paper's Section 4.1 case study end to end:
+// the 41-perturbation campaign against the Purdue turnin program, the two
+// exploited vulnerabilities (the Projlist /etc/shadow leak and the "../"
+// submit escape), and the repaired program's clean bill.
+//
+//	go run ./examples/turnin-audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/apps/turnin"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/core/report"
+)
+
+func main() {
+	fmt.Println("=== Section 4.1: auditing turnin with environment perturbation ===")
+	fmt.Println()
+
+	res, err := inject.Run(turnin.Campaign(turnin.Vulnerable))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Campaign(res))
+	fmt.Println()
+	fmt.Print(report.PerPoint(res))
+
+	m := res.Metric()
+	fmt.Printf("\npaper: 8 interaction places, 41 perturbations, 9 violations\n")
+	fmt.Printf("here : %d interaction places, %d perturbations, %d violations\n",
+		m.PointsPerturbed, m.FaultsInjected, m.Violations())
+
+	// The two exploits the paper narrates, replayed concretely.
+	fmt.Println("\n--- exploit 1: the Projlist assumption (TA reads /etc/shadow) ---")
+	demoShadowLeak()
+
+	fmt.Println("\n--- exploit 2: \"../\" in a submitted file name ---")
+	demoDotDotEscape()
+
+	fmt.Println("\n--- after repair ---")
+	fixed, err := inject.Run(turnin.Campaign(turnin.Fixed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fm := fixed.Metric()
+	fmt.Printf("fixed turnin: %d perturbations, %d violations, fault coverage %.2f\n",
+		fm.FaultsInjected, fm.Violations(), fm.FaultCoverage())
+}
+
+// demoShadowLeak stages the paper's scenario directly: the TA makes
+// Projlist a symbolic link to /etc/shadow, then runs turnin. "Voila, the
+// program prints out the content of /etc/shadow!"
+func demoShadowLeak() {
+	k, l := turnin.World(turnin.Vulnerable)()
+	// The TA replaces the Projlist with a link to the shadow file.
+	if err := k.FS.RemoveAll(turnin.Projlist); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := k.FS.Symlink("/", "/etc/shadow", turnin.Projlist, turnin.TAUID, turnin.TAUID); err != nil {
+		log.Fatal(err)
+	}
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	k.Run(p, l.Prog)
+	out := p.Stdout.String()
+	fmt.Print(indent(out))
+	if strings.Contains(out, "SECRETHASH") {
+		fmt.Println("  => /etc/shadow content reached the terminal of an unprivileged run")
+	}
+}
+
+// demoDotDotEscape submits a file named "../.login": the copy escapes the
+// project drop directory and lands in the TA's home.
+func demoDotDotEscape() {
+	k, l := turnin.World(turnin.Vulnerable)()
+	// The student stages a malicious .login and submits it under an
+	// escaping name.
+	if err := k.FS.WriteFile("/home/alice/.login", []byte("exec /bin/evil\n"), 0o644, turnin.InvokerUID, turnin.InvokerUID); err != nil {
+		log.Fatal(err)
+	}
+	l.Args = []string{"turnin", "-c", "cs352", "-p", "assignment1", "../../.login"}
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	k.Run(p, l.Prog)
+	// Where did the copy land?
+	escaped := turnin.CourseRoot + "/.login"
+	if data, err := k.FS.ReadFile(escaped); err == nil && strings.Contains(string(data), "evil") {
+		fmt.Printf("  submitted \"../../.login\" overwrote %s:\n%s", escaped, indent(string(data)))
+		fmt.Println("  => the TA's login script now runs the student's commands")
+	} else {
+		// The policy oracle still catches the escape into the submit tree.
+		if k.FS.Exists(turnin.SubmitDir + "/.login") {
+			fmt.Printf("  submitted file escaped the drop directory into %s\n", turnin.SubmitDir+"/.login")
+		}
+	}
+
+	// The same flaw, found mechanically by the campaign:
+	c := turnin.Campaign(turnin.Vulnerable)
+	c.Sites = []string{"turnin:arg-file"}
+	res, err := inject.Run(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, in := range res.Violations() {
+		for _, v := range in.Violations {
+			if v.Kind == policy.KindIntegrity {
+				fmt.Printf("  campaign finding: %s under %s\n", v.Object, in.FaultID)
+			}
+		}
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  | " + strings.Join(lines, "\n  | ") + "\n"
+}

@@ -1,0 +1,175 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/lpr"
+	"repro/internal/apps/ntreg"
+	"repro/internal/apps/turnin"
+	"repro/internal/baseline/ava"
+	"repro/internal/baseline/fuzz"
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/vulndb"
+)
+
+// TestPaperNumbers is the repository-level acceptance test: every count
+// the paper publishes, regenerated in one sweep. The per-package tests
+// cover the same ground in more detail; this one exists so a single failed
+// assumption anywhere in the stack is visible at the top.
+func TestPaperNumbers(t *testing.T) {
+	t.Parallel()
+	t.Run("tables-1-to-4", func(t *testing.T) {
+		t.Parallel()
+		s := vulndb.Load().Classify()
+		checks := []struct {
+			name      string
+			got, want int
+		}{
+			{"total entries", s.Total, 195},
+			{"classified", s.Classified, 142},
+			{"indirect", s.Indirect, 81},
+			{"direct", s.Direct, 48},
+			{"others", s.Others, 13},
+			{"indirect/user", s.IndirectByOrigin[eai.OriginUserInput], 51},
+			{"indirect/env", s.IndirectByOrigin[eai.OriginEnvVar], 17},
+			{"indirect/file", s.IndirectByOrigin[eai.OriginFileInput], 5},
+			{"indirect/network", s.IndirectByOrigin[eai.OriginNetworkInput], 8},
+			{"indirect/process", s.IndirectByOrigin[eai.OriginProcessInput], 0},
+			{"direct/fs", s.DirectByEntity[eai.EntityFileSystem], 42},
+			{"direct/network", s.DirectByEntity[eai.EntityNetwork], 5},
+			{"direct/process", s.DirectByEntity[eai.EntityProcess], 1},
+			{"fs/existence", s.FSByAttr[eai.AttrExistence], 20},
+			{"fs/symlink", s.FSByAttr[eai.AttrSymlink], 6},
+			{"fs/permission", s.FSByAttr[eai.AttrPermission], 6},
+			{"fs/ownership", s.FSByAttr[eai.AttrOwnership], 3},
+			{"fs/invariance", s.FSByAttr[eai.AttrContentInvariance], 6},
+			{"fs/workdir", s.FSByAttr[eai.AttrWorkingDirectory], 1},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				t.Errorf("%s = %d, paper reports %d", c.name, c.got, c.want)
+			}
+		}
+	})
+
+	t.Run("section-3.4-lpr", func(t *testing.T) {
+		t.Parallel()
+		res, err := inject.Run(lpr.CreateSiteCampaign(lpr.Vulnerable))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metric()
+		if m.FaultsInjected != 4 || m.Violations() != 4 {
+			t.Errorf("lpr = %d/%d, paper reports 4/4", m.FaultsInjected, m.Violations())
+		}
+	})
+
+	t.Run("section-4.1-turnin", func(t *testing.T) {
+		t.Parallel()
+		res, err := inject.Run(turnin.Campaign(turnin.Vulnerable))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Metric()
+		if m.PointsPerturbed != 8 || m.FaultsInjected != 41 || m.Violations() != 9 {
+			t.Errorf("turnin = %d/%d/%d, paper reports 8/41/9",
+				m.PointsPerturbed, m.FaultsInjected, m.Violations())
+		}
+	})
+
+	t.Run("section-4.2-registry", func(t *testing.T) {
+		t.Parallel()
+		s, err := ntreg.RunSurvey(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.UnprotectedKeys) != 29 || len(s.ExploitedKeys) != 9 || len(s.SuspectedKeys) != 20 {
+			t.Errorf("registry = %d/%d/%d, paper reports 29/9/20",
+				len(s.UnprotectedKeys), len(s.ExploitedKeys), len(s.SuspectedKeys))
+		}
+	})
+
+	t.Run("section-5-fuzz", func(t *testing.T) {
+		t.Parallel()
+		results, crashed := fuzz.RunSuite(fuzz.UtilitySuite(), fuzz.Options{Trials: 40, Seed: 1})
+		rate := float64(crashed) / float64(len(results))
+		if rate < 0.25 || rate > 0.40 {
+			t.Errorf("fuzz crash rate = %.2f, outside the paper's 25-40%% band", rate)
+		}
+	})
+
+	t.Run("section-5-ava-complementarity", func(t *testing.T) {
+		t.Parallel()
+		c := lpr.CreateSiteCampaign(lpr.Vulnerable)
+		avaRes := ava.Run("lpr", c.World, c.Policy, ava.Options{Trials: 100, Seed: 3})
+		if avaRes.ViolationKinds[policy.KindIntegrity] != 0 {
+			t.Error("AVA simulated an environment-only attack; complementarity claim broken")
+		}
+	})
+}
+
+// TestFaultRemovalMonotonicity: fixing an app never lowers fault coverage
+// anywhere in the catalog — the Section 3.2 assumption that "faults found
+// during testing are removed".
+func TestFaultRemovalMonotonicity(t *testing.T) {
+	t.Parallel()
+	for _, spec := range apps.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			vuln, err := inject.Run(spec.Vulnerable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fixed, err := inject.Run(spec.Fixed())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixed.Metric().FaultCoverage() < vuln.Metric().FaultCoverage() {
+				t.Errorf("fixing lowered fault coverage: %.3f -> %.3f",
+					vuln.Metric().FaultCoverage(), fixed.Metric().FaultCoverage())
+			}
+			if fixed.Metric().FaultCoverage() != 1 {
+				t.Errorf("fixed variant fault coverage = %.3f, want 1.0",
+					fixed.Metric().FaultCoverage())
+			}
+		})
+	}
+}
+
+// TestDeterministicCampaigns: the whole pipeline is replayable — two runs
+// of any campaign agree injection by injection.
+func TestDeterministicCampaigns(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"turnin", "lpr", "ntreg-fontclean", "ftpget"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := apps.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := inject.Run(spec.Vulnerable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := inject.Run(spec.Vulnerable())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Injections) != len(b.Injections) {
+				t.Fatalf("injection counts differ: %d vs %d", len(a.Injections), len(b.Injections))
+			}
+			for i := range a.Injections {
+				ai, bi := a.Injections[i], b.Injections[i]
+				if ai.FaultID != bi.FaultID || ai.Tolerated() != bi.Tolerated() ||
+					ai.CrashMsg != bi.CrashMsg {
+					t.Errorf("injection %d differs: %+v vs %+v", i, ai, bi)
+				}
+			}
+		})
+	}
+}

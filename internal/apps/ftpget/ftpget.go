@@ -1,0 +1,240 @@
+// Package ftpget is a file-transfer client exercising the network rows of
+// the EAI model: DNS replies, packet inputs, and the Table 6 network
+// entity attributes (availability, trustability, authenticity, protocol,
+// socket sharing). The vulnerable variant trusts the server completely —
+// its provenance, its banner length, and the file name it supplies.
+package ftpget
+
+import (
+	"strings"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/netsim"
+	"repro/internal/sim/proc"
+)
+
+// World identities and landmarks.
+const (
+	InvokerUID  = 100
+	AttackerUID = 666
+
+	MirrorHost = "mirror.example"
+	MirrorAddr = "10.7.0.2"
+	MirrorPort = ":21"
+
+	DownloadDir = "/home/alice/downloads"
+)
+
+// Vulnerable fetches the advertised file: resolve, connect, read the
+// banner into a fixed buffer, accept the server-chosen file name, save the
+// payload.
+func Vulnerable(p *kernel.Proc) int {
+	addr, err := p.DNSLookup("ftpget:dns", MirrorHost)
+	if err != nil {
+		p.Eprintf("ftpget: cannot resolve %s: %v\n", MirrorHost, err)
+		return 1
+	}
+	conn, err := p.Connect("ftpget:connect", addr+MirrorPort)
+	if err != nil {
+		p.Eprintf("ftpget: connect failed: %v\n", err)
+		return 1
+	}
+
+	banner, err := p.Recv("ftpget:recv-banner", conn)
+	if err != nil {
+		p.Eprintf("ftpget: no banner\n")
+		return 1
+	}
+	// Unchecked copy of the banner into a fixed buffer.
+	var bannerBuf [256]byte
+	n := p.CopyBounded(bannerBuf[:], banner.Data)
+	if !strings.HasPrefix(string(bannerBuf[:n]), "220") {
+		p.Eprintf("ftpget: unexpected banner\n")
+		return 1
+	}
+
+	if err := p.Send("ftpget:send-retr", conn, []byte("RETR latest")); err != nil {
+		p.Eprintf("ftpget: RETR failed: %v\n", err)
+		return 1
+	}
+	nameMsg, err := p.Recv("ftpget:recv-name", conn)
+	if err != nil {
+		p.Eprintf("ftpget: no name\n")
+		return 1
+	}
+	name := strings.TrimSpace(string(nameMsg.Data))
+	if name == "" {
+		return 1
+	}
+	data, err := p.Recv("ftpget:recv-data", conn)
+	if err != nil {
+		p.Eprintf("ftpget: no data\n")
+		return 1
+	}
+
+	// Server-chosen name, used verbatim.
+	f, err := p.Create("ftpget:create-local", DownloadDir+"/"+name, 0o644)
+	if err != nil {
+		p.Eprintf("ftpget: cannot save %s: %v\n", name, err)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("ftpget:write-local", f, data.Data); err != nil {
+		return 1
+	}
+	p.Printf("saved %s (%d bytes)\n", name, len(data.Data))
+	return 0
+}
+
+// Fixed verifies the peer's trustability and every message's
+// authenticity, bounds the banner, and takes only the base name of the
+// server-supplied file name.
+func Fixed(p *kernel.Proc) int {
+	addr, err := p.DNSLookup("ftpget:dns", MirrorHost)
+	if err != nil || !validAddr(addr) {
+		p.Eprintf("ftpget: bad resolution for %s\n", MirrorHost)
+		return 1
+	}
+	conn, err := p.Connect("ftpget:connect", addr+MirrorPort)
+	if err != nil {
+		p.Eprintf("ftpget: connect failed: %v\n", err)
+		return 1
+	}
+	if svc := conn.Service(); svc == nil || !svc.Trusted {
+		p.Eprintf("ftpget: refusing untrusted mirror\n")
+		return 1
+	}
+
+	banner, err := p.Recv("ftpget:recv-banner", conn)
+	if err != nil || !banner.Authentic || len(banner.Data) > 256 {
+		p.Eprintf("ftpget: banner rejected\n")
+		return 1
+	}
+	if !strings.HasPrefix(string(banner.Data), "220") {
+		p.Eprintf("ftpget: unexpected banner\n")
+		return 1
+	}
+
+	if err := p.Send("ftpget:send-retr", conn, []byte("RETR latest")); err != nil {
+		return 1
+	}
+	nameMsg, err := p.Recv("ftpget:recv-name", conn)
+	if err != nil || !nameMsg.Authentic {
+		p.Eprintf("ftpget: name rejected\n")
+		return 1
+	}
+	name := strings.TrimSpace(string(nameMsg.Data))
+	// Base name only; never trust server-supplied directories.
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	if name == "" || name == "." || name == ".." || len(name) > 128 || !printable(name) {
+		p.Eprintf("ftpget: illegal remote name\n")
+		return 1
+	}
+	data, err := p.Recv("ftpget:recv-data", conn)
+	if err != nil || !data.Authentic {
+		p.Eprintf("ftpget: data rejected\n")
+		return 1
+	}
+
+	f, err := p.Open("ftpget:create-local", DownloadDir+"/"+name,
+		kernel.OWrite|kernel.OCreate|kernel.OExcl, 0o644)
+	if err != nil {
+		p.Eprintf("ftpget: cannot save %s: %v\n", name, err)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("ftpget:write-local", f, data.Data); err != nil {
+		return 1
+	}
+	p.Printf("saved %s (%d bytes)\n", name, len(data.Data))
+	return 0
+}
+
+func validAddr(a string) bool {
+	if len(a) == 0 || len(a) > 15 {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		if a[i] != '.' && (a[i] < '0' || a[i] > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func printable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// World stages the mirror service with its three-message script and the
+// download directory.
+func World(prog kernel.Program) inject.Factory {
+	return func() (*kernel.Kernel, inject.Launch) {
+		k := kernel.New()
+		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+		k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
+		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$FTPHASH$:1:\n"), 0o600, 0, 0))
+		must(k.FS.MkdirAll("/", DownloadDir, 0o755, InvokerUID, InvokerUID))
+		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+		k.Net = netsim.New()
+		k.Net.AddDNS(MirrorHost, MirrorAddr)
+		k.Net.AddService(&netsim.Service{
+			Addr: MirrorAddr + MirrorPort, Host: MirrorHost,
+			Available: true, Trusted: true,
+			Script: []netsim.Message{
+				{From: MirrorHost, Data: []byte("220 mirror ready"), Authentic: true},
+				{From: MirrorHost, Data: []byte("hw.dat"), Authentic: true},
+				{From: MirrorHost, Data: []byte("payload-bytes-of-hw.dat"), Authentic: true},
+			},
+			Steps: []string{"RETR"},
+		})
+		return k, inject.Launch{
+			Cred: proc.NewCred(InvokerUID, InvokerUID),
+			Env:  proc.NewEnv("PATH", "/usr/bin"),
+			Cwd:  "/home/alice",
+			Args: []string{"ftpget", MirrorHost, "latest"},
+			Prog: prog,
+		}
+	}
+}
+
+// Campaign perturbs the client's network surface.
+func Campaign(prog kernel.Program) inject.Campaign {
+	return inject.Campaign{
+		Name:  "ftpget",
+		World: World(prog),
+		Policy: policy.Policy{
+			Invoker:           proc.NewCred(InvokerUID, InvokerUID),
+			Attacker:          proc.NewCred(AttackerUID, AttackerUID),
+			TrustedWritePaths: []string{DownloadDir},
+		},
+		Faults: eai.Config{Attacker: proc.NewCred(AttackerUID, AttackerUID)},
+		Sites: []string{
+			"ftpget:dns",
+			"ftpget:connect",
+			"ftpget:recv-banner",
+			"ftpget:recv-name",
+			"ftpget:recv-data",
+		},
+		Semantics: map[string]eai.Semantic{
+			"ftpget:recv-name": eai.SemFileName,
+		},
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,183 @@
+package ftpget
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func TestCleanRun(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+	data, err := k.FS.ReadFile(DownloadDir + "/hw.dat")
+	if err != nil || !strings.Contains(string(data), "payload") {
+		t.Errorf("download = %q, %v", data, err)
+	}
+}
+
+func TestCleanRunFixed(t *testing.T) {
+	t.Parallel()
+	k, l := World(Fixed)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("fixed clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+}
+
+// TestNetworkEntityFaults: all five Table 6 network attributes are
+// planned at the connect site.
+func TestNetworkEntityFaults(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"ftpget:connect"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[eai.Attr]bool{}
+	for _, in := range res.Injections {
+		attrs[in.Attr] = true
+	}
+	for _, want := range []eai.Attr{
+		eai.AttrMsgAuthenticity, eai.AttrProtocol, eai.AttrSocketShare,
+		eai.AttrServiceAvail, eai.AttrTrustability,
+	} {
+		if !attrs[want] {
+			t.Errorf("missing network attribute %v", want)
+		}
+	}
+}
+
+// TestAuthenticityViolation: the vulnerable client acts on forged input.
+func TestAuthenticityViolation(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var authBad, trustBad bool
+	for _, in := range res.Injections {
+		for _, v := range in.Violations {
+			if v.Kind != policy.KindUntrustedInput {
+				continue
+			}
+			switch in.Attr {
+			case eai.AttrMsgAuthenticity:
+				authBad = true
+			case eai.AttrTrustability:
+				trustBad = true
+			}
+		}
+	}
+	if !authBad {
+		t.Error("forged messages tolerated by vulnerable client")
+	}
+	if !trustBad {
+		t.Error("untrusted peer tolerated by vulnerable client")
+	}
+}
+
+// TestBannerOverflow: the change-size packet perturbation crashes the
+// unchecked banner copy.
+func TestBannerOverflow(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"ftpget:recv-banner"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	for _, in := range res.Injections {
+		if strings.HasSuffix(in.FaultID, "change-size") && in.CrashMsg != "" {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Error("oversized banner did not crash the vulnerable client")
+	}
+}
+
+// TestServiceAvailability: denying the service is tolerated — the client
+// errors out without a violation, which is correct behaviour.
+func TestServiceAvailability(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"ftpget:connect"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if in.Attr == eai.AttrServiceAvail {
+			if !in.Tolerated() {
+				t.Errorf("availability fault should be tolerated: %v", in.Violations)
+			}
+			if in.Exit == 0 {
+				t.Error("client reported success with service denied")
+			}
+		}
+	}
+}
+
+// TestDNSPerturbations: malformed DNS replies are tolerated by failing
+// closed.
+func TestDNSPerturbations(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"ftpget:dns"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) == 0 {
+		t.Fatal("no DNS injections")
+	}
+	for _, in := range res.Injections {
+		if in.Sem != eai.SemDNSReply {
+			t.Errorf("sem = %v", in.Sem)
+		}
+		if !in.Tolerated() {
+			t.Errorf("DNS fault %s caused violation: %v", in.FaultID, in.Violations)
+		}
+	}
+}
+
+// TestFixedClientTolerates: the repaired client tolerates the full
+// campaign.
+func TestFixedClientTolerates(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed ftpget violated under %s at %s: %v", in.FaultID, in.Point, in.Violations)
+		}
+	}
+	if fc := res.Metric().FaultCoverage(); fc != 1 {
+		t.Errorf("fixed fault coverage = %v", fc)
+	}
+}
+
+// TestVulnerableCoverageBelowFixed: the headline comparison.
+func TestVulnerableCoverageBelowFixed(t *testing.T) {
+	t.Parallel()
+	vuln, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vuln.Metric().FaultCoverage() >= 1 {
+		t.Error("vulnerable client has perfect fault coverage")
+	}
+}

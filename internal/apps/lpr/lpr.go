@@ -1,0 +1,161 @@
+// Package lpr ports the BSD lpr case study of Section 3.4: a set-UID-root
+// print spooler that creats a control file in the spool directory without
+// O_EXCL, so a pre-planted file or symbolic link redirects its privileged
+// write.
+package lpr
+
+import (
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/proc"
+)
+
+// Spool locations, fixed as in the BSD original.
+const (
+	SpoolDir  = "/var/spool/lpd"
+	SpoolFile = SpoolDir + "/cfa001"
+)
+
+// Users of the lpr world.
+const (
+	InvokerUID  = 100 // alice, the printing user
+	AttackerUID = 666 // mallory
+)
+
+// Vulnerable is the paper's lpr: creat() with no O_EXCL and no check that
+// the spool file is fresh.
+//
+//	f = create(n, 0660);
+//	if (f<0) { printf("%s: cannot create %s", name, n); cleanup(); }
+//	...
+//	if (write(f, buf, i)!=i) { printf("%s: %s: temp file write error\n", ...); }
+func Vulnerable(p *kernel.Proc) int {
+	name := p.Arg("lpr:arg-file", 1)
+	if name == "" {
+		p.Eprintf("usage: lpr file\n")
+		return 2
+	}
+	src, err := p.Open("lpr:open-input", name, kernel.ORead, 0)
+	if err != nil {
+		p.Eprintf("lpr: cannot open %s: %v\n", name, err)
+		return 1
+	}
+	buf, err := p.ReadAll("lpr:read-input", src)
+	p.Close(src)
+	if err != nil {
+		p.Eprintf("lpr: read error: %v\n", err)
+		return 1
+	}
+
+	f, err := p.Create("lpr:create", SpoolFile, 0o660)
+	if err != nil {
+		p.Eprintf("lpr: cannot create %s\n", SpoolFile)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("lpr:write", f, buf); err != nil {
+		p.Eprintf("lpr: %s: temp file write error\n", SpoolFile)
+		return 1
+	}
+	p.Printf("job queued: %s\n", name)
+	return 0
+}
+
+// Fixed is the repaired lpr: it refuses a pre-existing spool file
+// (O_EXCL), refuses to follow a planted symlink, and verifies the fresh
+// file's ownership before writing.
+func Fixed(p *kernel.Proc) int {
+	name := p.Arg("lpr:arg-file", 1)
+	if name == "" {
+		p.Eprintf("usage: lpr file\n")
+		return 2
+	}
+	src, err := p.Open("lpr:open-input", name, kernel.ORead, 0)
+	if err != nil {
+		p.Eprintf("lpr: cannot open %s: %v\n", name, err)
+		return 1
+	}
+	buf, err := p.ReadAll("lpr:read-input", src)
+	p.Close(src)
+	if err != nil {
+		p.Eprintf("lpr: read error: %v\n", err)
+		return 1
+	}
+
+	// A symlink at the spool path is an attack even before open: creat
+	// would follow it.
+	if st, err := p.Lstat("lpr:lstat-spool", SpoolFile); err == nil && st.Symlink {
+		p.Eprintf("lpr: spool file is a symlink, refusing\n")
+		return 1
+	}
+	f, err := p.Open("lpr:create", SpoolFile, kernel.OWrite|kernel.OCreate|kernel.OExcl, 0o660)
+	if err != nil {
+		p.Eprintf("lpr: spool file unsafe: %v\n", err)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("lpr:write", f, buf); err != nil {
+		p.Eprintf("lpr: %s: temp file write error\n", SpoolFile)
+		return 1
+	}
+	p.Printf("job queued: %s\n", name)
+	return 0
+}
+
+// World builds the lpr environment: a world-writable spool directory (the
+// precondition for the attack — any user may queue jobs), the invoker's
+// document, and the protected system files the attack aims at.
+func World(prog kernel.Program) inject.Factory {
+	return func() (*kernel.Kernel, inject.Launch) {
+		k := kernel.New()
+		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+		k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
+		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+		must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\nalice:x:100:100::/home/alice:/bin/sh\n"), 0o644, 0, 0))
+		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$SECRETHASH$abcdef:10000:\n"), 0o600, 0, 0))
+		must(k.FS.MkdirAll("/", SpoolDir, 0o777, 0, 0))
+		must(k.FS.MkdirAll("/", "/home/alice", 0o755, InvokerUID, InvokerUID))
+		must(k.FS.WriteFile("/home/alice/doc.txt", []byte("the document to print\n"), 0o644, InvokerUID, InvokerUID))
+		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+		return k, inject.Launch{
+			Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0}, // set-UID root
+			Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "HOME", "/home/alice"),
+			Cwd:  "/home/alice",
+			Args: []string{"lpr", "doc.txt"},
+			Prog: prog,
+		}
+	}
+}
+
+// Campaign returns the full lpr fault-injection campaign.
+func Campaign(prog kernel.Program) inject.Campaign {
+	return inject.Campaign{
+		Name:  "lpr",
+		World: World(prog),
+		Policy: policy.Policy{
+			Invoker:  proc.NewCred(InvokerUID, InvokerUID),
+			Attacker: proc.NewCred(AttackerUID, AttackerUID),
+		},
+		Faults: eai.Config{Attacker: proc.NewCred(AttackerUID, AttackerUID)},
+		Semantics: map[string]eai.Semantic{
+			"lpr:arg-file":   eai.SemFileName,
+			"lpr:read-input": eai.SemRaw,
+		},
+	}
+}
+
+// CreateSiteCampaign returns the Section 3.4 walk-through: perturbation of
+// the create interaction point only.
+func CreateSiteCampaign(prog kernel.Program) inject.Campaign {
+	c := Campaign(prog)
+	c.Sites = []string{"lpr:create"}
+	return c
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,137 @@
+package lpr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func TestCleanRun(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+	data, err := k.FS.ReadFile(SpoolFile)
+	if err != nil || !strings.Contains(string(data), "document to print") {
+		t.Errorf("spool = %q, %v", data, err)
+	}
+}
+
+// TestSection34Walkthrough reproduces the paper's lpr example: at the
+// create interaction point, attributes 1-4 (existence, ownership,
+// permission, symbolic link) are applicable and all four defeat the
+// vulnerable lpr; content/name invariance and working directory are not
+// applicable for a first-time absolute-path file.
+func TestSection34Walkthrough(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(CreateSiteCampaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) != 4 {
+		t.Fatalf("injections = %d, want 4", len(res.Injections))
+	}
+	wantAttrs := map[eai.Attr]bool{
+		eai.AttrExistence: true, eai.AttrOwnership: true,
+		eai.AttrPermission: true, eai.AttrSymlink: true,
+	}
+	for _, in := range res.Injections {
+		if !wantAttrs[in.Attr] {
+			t.Errorf("unexpected attribute %v", in.Attr)
+		}
+		if in.Tolerated() {
+			t.Errorf("attribute %v tolerated; the paper detects violations for all four", in.Attr)
+		}
+	}
+}
+
+// TestPasswordFileAttack: "when the file is linked to the password file,
+// the password file is modified by lpr".
+func TestPasswordFileAttack(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(CreateSiteCampaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range res.Injections {
+		if in.Attr != eai.AttrSymlink {
+			continue
+		}
+		for _, v := range in.Violations {
+			if v.Kind == policy.KindIntegrity && v.Object == "/etc/passwd" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("symlink perturbation did not modify /etc/passwd")
+	}
+}
+
+func TestFixedLprSurvives(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(CreateSiteCampaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed lpr violated under %v: %v", in.Attr, in.Violations)
+		}
+	}
+	if res.Metric().FaultCoverage() != 1 {
+		t.Errorf("fixed fault coverage = %v", res.Metric().FaultCoverage())
+	}
+}
+
+func TestFullCampaign(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites: arg-file (5 file-name faults), open-input (7 direct on the
+	// relative-path document, working-directory included), read-input (2
+	// raw indirect; direct deduped), create (4 direct), write (fully
+	// deduped against create, so never perturbed).
+	if got := len(res.Injections); got != 18 {
+		t.Errorf("injections = %d, want 18", got)
+		for _, in := range res.Injections {
+			t.Logf("  %s %s", in.Point, in.FaultID)
+		}
+	}
+	// The create-site faults still violate in the full campaign.
+	if got := res.Metric().Violations(); got < 4 {
+		t.Errorf("violations = %d, want >= 4", got)
+	}
+	// Adequacy: 4 of 5 sites perturbed (the write site's object faults all
+	// dedup against the create site).
+	m := res.Metric()
+	if m.InteractionCoverage() != 0.8 {
+		t.Errorf("interaction coverage = %v, want 0.8 (sites: %v of %v)",
+			m.InteractionCoverage(), res.PerturbedSites, res.TotalSites)
+	}
+}
+
+func TestVulnerableVsFixedCoverageGap(t *testing.T) {
+	t.Parallel()
+	vuln, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := inject.Run(Campaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vuln.Metric().FaultCoverage() >= fixed.Metric().FaultCoverage() {
+		t.Errorf("vulnerable FC %v should be below fixed FC %v",
+			vuln.Metric().FaultCoverage(), fixed.Metric().FaultCoverage())
+	}
+}

@@ -1,0 +1,191 @@
+package maildrop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func TestCleanRun(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+	box, err := k.FS.ReadFile(MailDir + "/alice")
+	if err != nil || !strings.Contains(string(box), "hello alice") {
+		t.Errorf("mailbox = %q, %v", box, err)
+	}
+}
+
+func TestCleanRunFixed(t *testing.T) {
+	t.Parallel()
+	k, l := World(Fixed)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("fixed clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+}
+
+// TestPATHHijack reproduces the classic environment-variable attack of
+// Table 5: prepending an untrusted directory to PATH makes the privileged
+// delivery agent exec the attacker's sendmail.
+func TestPATHHijack(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"maildrop:exec-sendmail:PATH!implicit"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SemPathList: 5 perturbations on the implicit PATH read.
+	if len(res.Injections) != 5 {
+		t.Fatalf("injections = %d, want 5", len(res.Injections))
+	}
+	hijacked := false
+	for _, in := range res.Injections {
+		if !strings.HasSuffix(in.FaultID, "insert-untrusted-path") {
+			continue
+		}
+		for _, v := range in.Violations {
+			if v.Kind == policy.KindUntrustedExec && v.Object == HijackDir+"/sendmail" {
+				hijacked = true
+			}
+		}
+	}
+	if !hijacked {
+		t.Error("insert-untrusted-path did not hijack the exec")
+		for _, in := range res.Injections {
+			t.Logf("  %s -> %v", in.FaultID, in.Violations)
+		}
+	}
+}
+
+// TestExecObjectPerturbation: ownership perturbation of the relay binary
+// is accepted by the vulnerable agent and refused by the fixed one.
+func TestExecObjectPerturbation(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"maildrop:exec-sendmail"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawOwnershipViolation bool
+	for _, in := range res.Injections {
+		if in.Attr == eai.AttrOwnership && !in.Tolerated() {
+			sawOwnershipViolation = true
+		}
+	}
+	if !sawOwnershipViolation {
+		t.Error("vulnerable maildrop tolerated an attacker-owned relay binary")
+	}
+
+	fixedRes, err := inject.Run(func() inject.Campaign {
+		fc := Campaign(Fixed)
+		fc.Sites = []string{"maildrop:exec-sendmail"}
+		return fc
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range fixedRes.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed maildrop violated under %s: %v", in.FaultID, in.Violations)
+		}
+	}
+}
+
+func TestFullCampaignVulnerableVsFixed(t *testing.T) {
+	t.Parallel()
+	vuln, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vuln.Metric().Violations() < 2 {
+		t.Errorf("vulnerable violations = %d, want >= 2 (PATH hijack + binary ownership)",
+			vuln.Metric().Violations())
+	}
+	fixed, err := inject.Run(Campaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range fixed.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed maildrop violated under %s at %s: %v", in.FaultID, in.Point, in.Violations)
+		}
+	}
+}
+
+// TestProcessInputFaults: the Table 6 process-entity perturbations apply
+// at the queue site and the agent handles them without privilege misuse
+// (the forged message is delivered — a toleration in our policy's terms —
+// or rejected by the fixed variant).
+func TestProcessInputFaults(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"maildrop:recv-queue"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct, indirect int
+	for _, in := range res.Injections {
+		switch in.Class {
+		case eai.ClassDirect:
+			direct++
+			if in.Attr != eai.AttrMsgAuthenticity && in.Attr != eai.AttrTrustability &&
+				in.Attr != eai.AttrServiceAvail {
+				t.Errorf("unexpected process attr %v", in.Attr)
+			}
+		case eai.ClassIndirect:
+			indirect++
+			if in.Sem != eai.SemProcMessage {
+				t.Errorf("sem = %v", in.Sem)
+			}
+		}
+	}
+	if direct != 3 || indirect != 2 {
+		t.Errorf("direct/indirect = %d/%d, want 3/2", direct, indirect)
+	}
+}
+
+// TestUmaskPerturbation: the zero-mask fault of Table 5 is injected at the
+// UMASK read.
+func TestUmaskPerturbation(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"maildrop:getenv-umask"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) != 1 || !strings.HasSuffix(res.Injections[0].FaultID, "zero-mask") {
+		t.Fatalf("injections = %+v", res.Injections)
+	}
+}
+
+func TestParseOctal(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		in   string
+		want uint16
+	}{
+		{"077", 0o077},
+		{"22", 0o022},
+		{"0", 0},
+		{"junk", 0o022},
+		{"8", 0o022},
+	}
+	for _, tt := range tests {
+		if got := parseOctal(tt.in); uint16(got) != tt.want {
+			t.Errorf("parseOctal(%q) = %o, want %o", tt.in, uint16(got), tt.want)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package turnin
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func TestCleanRunSubmits(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil {
+		t.Fatalf("clean run crashed: %v", crash)
+	}
+	if exit != 0 {
+		t.Fatalf("clean run exit = %d, stderr = %s", exit, p.Stderr.String())
+	}
+	if !strings.Contains(p.Stdout.String(), "Submitted hw1.c") {
+		t.Errorf("stdout = %q", p.Stdout.String())
+	}
+	data, err := k.FS.ReadFile(SubmitDir + "/assignment1/hw1.c")
+	if err != nil || !strings.Contains(string(data), "int main") {
+		t.Errorf("submission = %q, %v", data, err)
+	}
+}
+
+func TestCleanRunFixedSubmits(t *testing.T) {
+	t.Parallel()
+	k, l := World(Fixed)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("fixed clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+}
+
+// TestSection41Numbers pins the reproduction to the paper's Section 4.1
+// results: 8 interaction places perturbed, 41 environment perturbations,
+// 9 violations.
+func TestSection41Numbers(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.PerturbedSites); got != 8 {
+		t.Errorf("interaction places = %d, want 8 (%v)", got, res.PerturbedSites)
+	}
+	if got := len(res.Injections); got != 41 {
+		t.Errorf("perturbations = %d, want 41", got)
+		for _, in := range res.Injections {
+			t.Logf("  %s %s", in.Point, in.FaultID)
+		}
+	}
+	if got := res.Metric().Violations(); got != 9 {
+		t.Errorf("violations = %d, want 9", got)
+		for _, in := range res.Violations() {
+			t.Logf("  %s %s -> %v", in.Point, in.FaultID, in.Violations)
+		}
+	}
+}
+
+// TestProjlistLeak reproduces the paper's exploited vulnerability: with
+// Projlist unreadable to the invoker (or symlinked to /etc/shadow), the
+// set-UID turnin prints contents the user must not see.
+func TestProjlistLeak(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"turnin:open-projlist"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var permLeak, symlinkLeak bool
+	for _, in := range res.Injections {
+		for _, v := range in.Violations {
+			if v.Kind != policy.KindConfidentiality {
+				continue
+			}
+			switch in.Attr {
+			case eai.AttrPermission:
+				permLeak = true
+			case eai.AttrSymlink:
+				if v.Object == "/etc/shadow" {
+					symlinkLeak = true
+				}
+			}
+		}
+	}
+	if !permLeak {
+		t.Error("permission perturbation did not leak Projlist (the paper's first scenario)")
+	}
+	if !symlinkLeak {
+		t.Error("symlink perturbation did not leak /etc/shadow (the paper's TA scenario)")
+	}
+}
+
+// TestDotDotEscape reproduces the second exploited vulnerability: "../" in
+// a submitted file name escapes the project drop directory.
+func TestDotDotEscape(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"turnin:arg-file"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped := false
+	for _, in := range res.Injections {
+		if !strings.HasSuffix(in.FaultID, "insert-dotdot") {
+			continue
+		}
+		for _, v := range in.Violations {
+			if v.Kind == policy.KindIntegrity && strings.HasPrefix(v.Object, SubmitDir) &&
+				!strings.HasPrefix(v.Object, SubmitDir+"/assignment1") {
+				escaped = true
+			}
+		}
+	}
+	if !escaped {
+		t.Error(`"../" file name did not escape the drop directory`)
+		for _, in := range res.Injections {
+			t.Logf("  %s %s -> %v", in.Point, in.FaultID, in.Violations)
+		}
+	}
+	// The leading-slash variants must be rejected by turnin's own check.
+	for _, in := range res.Injections {
+		if strings.HasSuffix(in.FaultID, "insert-slash") ||
+			strings.HasSuffix(in.FaultID, "use-absolute-path") {
+			if !in.Tolerated() {
+				t.Errorf("%s should be rejected by the '/' check: %v", in.FaultID, in.Violations)
+			}
+		}
+	}
+}
+
+// TestTrustedConfigPerturbation reproduces the turnin.cf finding: if the
+// trusted config assumption fails, security is violated.
+func TestTrustedConfigPerturbation(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"turnin:open-config"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAttr := map[eai.Attr]bool{}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			byAttr[in.Attr] = true
+		}
+	}
+	if !byAttr[eai.AttrContentInvariance] {
+		t.Error("content perturbation of turnin.cf tolerated; redirection must leak")
+	}
+	if !byAttr[eai.AttrSymlink] {
+		t.Error("symlink perturbation of turnin.cf tolerated")
+	}
+}
+
+// TestBufferOverflows: the overlong-input perturbations crash the
+// vulnerable turnin at its unchecked copies.
+func TestBufferOverflows(t *testing.T) {
+	t.Parallel()
+	c := Campaign(Vulnerable)
+	c.Sites = []string{"turnin:read-config", "turnin:read-projlist"}
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	for _, in := range res.Injections {
+		if in.CrashMsg != "" {
+			crashes++
+			if !strings.HasSuffix(in.FaultID, "change-length") {
+				t.Errorf("unexpected crash from %s", in.FaultID)
+			}
+		}
+	}
+	if crashes != 2 {
+		t.Errorf("crashes = %d, want 2 (config path + projlist line)", crashes)
+	}
+}
+
+// TestFixedTurninToleratesAll: after the repairs, the same 41-fault
+// campaign is fully tolerated — fault coverage 1.0.
+func TestFixedTurninToleratesAll(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed turnin violated under %s at %s: %v", in.FaultID, in.Point, in.Violations)
+		}
+	}
+	if fc := res.Metric().FaultCoverage(); fc != 1 {
+		t.Errorf("fixed fault coverage = %v, want 1.0", fc)
+	}
+}
+
+// TestViolationsBySite checks the distribution of the 9 violations across
+// the 8 perturbed places.
+func TestViolationsBySite(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for site, injs := range res.ViolationsBySite() {
+		got[site] = len(injs)
+	}
+	want := map[string]int{
+		"turnin:open-config":    2, // content + symlink redirection
+		"turnin:read-config":    1, // overlong path crash
+		"turnin:open-projlist":  2, // permission leak + shadow symlink leak
+		"turnin:read-projlist":  1, // overlong line crash
+		"turnin:stat-submitdir": 1, // directory symlinked to /etc
+		"turnin:arg-file":       1, // ../ escape
+		"turnin:create-dest":    1, // destination symlinked to /etc/passwd
+	}
+	for site, n := range want {
+		if got[site] != n {
+			t.Errorf("%s violations = %d, want %d", site, got[site], n)
+		}
+	}
+	if got["turnin:arg-project"] != 0 {
+		t.Errorf("arg-project should tolerate all faults (validated input), got %d", got["turnin:arg-project"])
+	}
+}

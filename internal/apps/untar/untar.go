@@ -1,0 +1,192 @@
+// Package untar is the extraction side of the paper's second turnin
+// exploit: "when his TA unpacks the submitted file, the TA's .login will
+// be overwritten by the student's malicious .login file". The extractor
+// runs with the TA's authority over an archive whose member names the
+// student chose; the vulnerable variant trusts those names (rejecting only
+// a leading "/", as the original did) and copies them through an unchecked
+// fixed buffer.
+package untar
+
+import (
+	"strings"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/sim/archive"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/proc"
+)
+
+// World identities and landmarks.
+const (
+	TAUID      = 200 // the invoker: the TA unpacking a submission
+	StudentUID = 100 // the attacker: author of the archive
+
+	TAHome      = "/u/cs352"
+	GradingDir  = TAHome + "/grading"
+	Submission  = TAHome + "/submit/assignment1/sub.epar"
+	LoginScript = TAHome + "/.login"
+)
+
+// Vulnerable extracts every member into the working directory using the
+// member name verbatim (minus a leading-slash check), through a 100-byte
+// name buffer.
+func Vulnerable(p *kernel.Proc) int { return run(p, false) }
+
+// Fixed rejects "..", absolute names, and overlong names, and refuses to
+// replace existing files.
+func Fixed(p *kernel.Proc) int { return run(p, true) }
+
+func run(p *kernel.Proc, fixed bool) int {
+	src := p.Arg("untar:arg-archive", 1)
+	if src == "" {
+		p.Eprintf("untar: no archive named\n")
+		return 2
+	}
+	f, err := p.Open("untar:open-archive", src, kernel.ORead, 0)
+	if err != nil {
+		p.Eprintf("untar: cannot open %s: %v\n", src, err)
+		return 1
+	}
+	blob, err := p.ReadAll("untar:read-archive", f)
+	p.Close(f)
+	if err != nil {
+		p.Eprintf("untar: read error: %v\n", err)
+		return 1
+	}
+	entries, err := archive.Unpack(blob)
+	if err != nil {
+		p.Eprintf("untar: bad archive: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		name := e.Name
+		if strings.HasPrefix(name, "/") {
+			p.Eprintf("untar: refusing absolute member %q\n", name)
+			continue
+		}
+		if fixed {
+			if strings.Contains(name, "..") || len(name) > 100 || name == "" {
+				p.Eprintf("untar: refusing member %q\n", name)
+				continue
+			}
+		} else {
+			// Unchecked strcpy of the member name into a fixed buffer —
+			// and no ".." check.
+			var nameBuf [100]byte
+			n := p.CopyBounded(nameBuf[:], []byte(name))
+			name = string(nameBuf[:n])
+		}
+		if i := strings.LastIndex(name, "/"); i > 0 {
+			if err := mkdirAll(p, name[:i]); err != nil {
+				p.Eprintf("untar: %v\n", err)
+				continue
+			}
+		}
+		flags := kernel.OWrite | kernel.OCreate | kernel.OTrunc
+		if fixed {
+			flags = kernel.OWrite | kernel.OCreate | kernel.OExcl
+		}
+		out, err := p.Open("untar:create-member", name, flags, e.Mode)
+		if err != nil {
+			p.Eprintf("untar: cannot extract %q: %v\n", name, err)
+			continue
+		}
+		if _, err := p.Write("untar:write-member", out, e.Data); err != nil {
+			p.Eprintf("untar: write error on %q\n", name)
+		}
+		p.Close(out)
+		p.Printf("x %s (%d bytes)\n", name, len(e.Data))
+	}
+	return 0
+}
+
+// mkdirAll creates intermediate member directories relative to the cwd.
+func mkdirAll(p *kernel.Proc, dir string) error {
+	parts := strings.Split(dir, "/")
+	cur := ""
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		if cur == "" {
+			cur = part
+		} else {
+			cur = cur + "/" + part
+		}
+		if _, err := p.Stat("untar:stat-memberdir", cur); err == nil {
+			continue
+		}
+		if err := p.Mkdir("untar:mkdir-member", cur, 0o755); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// World stages the TA's tree with a legitimate student submission archive
+// and the TA's login script.
+func World(prog kernel.Program) inject.Factory {
+	return func() (*kernel.Kernel, inject.Launch) {
+		k := kernel.New()
+		k.Users.Add(proc.User{Name: "cs352ta", UID: TAUID, GID: TAUID})
+		k.Users.Add(proc.User{Name: "alice", UID: StudentUID, GID: StudentUID})
+		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$TARHASH$:1:\n"), 0o600, 0, 0))
+		must(k.FS.MkdirAll("/", GradingDir, 0o700, TAUID, TAUID))
+		must(k.FS.MkdirAll("/", TAHome+"/submit/assignment1", 0o700, TAUID, TAUID))
+		must(k.FS.WriteFile(LoginScript, []byte("setenv SHELL /bin/csh\n"), 0o644, TAUID, TAUID))
+		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+		legit := archive.Pack([]archive.Entry{
+			{Name: "hw1.c", Mode: 0o644, Data: []byte("int main(void){return 42;}\n")},
+			{Name: "docs/README", Mode: 0o644, Data: []byte("assignment 1 submission\n")},
+		})
+		// Stored by the set-UID turnin, chowned to the course account so
+		// the TA can grade it.
+		must(k.FS.WriteFile(Submission, legit, 0o600, TAUID, TAUID))
+		return k, inject.Launch{
+			Cred: proc.NewCred(TAUID, TAUID), // the TA's own authority
+			Env:  proc.NewEnv("PATH", "/usr/bin"),
+			Cwd:  GradingDir,
+			Args: []string{"untar", Submission},
+			Prog: prog,
+		}
+	}
+}
+
+// MaliciousArchive is the student's crafted payload: a "../.login" member
+// that overwrites the TA's login script, plus an overlong member name that
+// lands in the extractor's unchecked buffer.
+func MaliciousArchive() []byte {
+	return archive.Pack([]archive.Entry{
+		{Name: "../.login", Mode: 0o644, Data: []byte("exec /bin/evil\n")},
+		{Name: strings.Repeat("A", 4000), Mode: 0o644, Data: []byte("x")},
+	})
+}
+
+// Campaign perturbs the extractor's archive input: the stored submission
+// file (direct faults — the attacker authored it, so content substitution
+// is exactly a malicious submission) and the bytes the extractor reads.
+func Campaign(prog kernel.Program) inject.Campaign {
+	return inject.Campaign{
+		Name:  "untar",
+		World: World(prog),
+		Policy: policy.Policy{
+			Invoker:           proc.NewCred(TAUID, TAUID),
+			Attacker:          proc.NewCred(StudentUID, StudentUID),
+			TrustedWritePaths: []string{GradingDir},
+		},
+		Faults: eai.Config{
+			Attacker:        proc.NewCred(StudentUID, StudentUID),
+			AttackerContent: MaliciousArchive(),
+		},
+		Sites: []string{"untar:open-archive", "untar:read-archive"},
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

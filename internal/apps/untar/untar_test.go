@@ -1,0 +1,155 @@
+package untar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/sim/archive"
+	"repro/internal/sim/kernel"
+)
+
+func TestCleanExtraction(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+	for _, f := range []string{GradingDir + "/hw1.c", GradingDir + "/docs/README"} {
+		if !k.FS.Exists(f) {
+			t.Errorf("%s not extracted", f)
+		}
+	}
+	// The TA's login script is untouched.
+	data, err := k.FS.ReadFile(LoginScript)
+	if err != nil || !strings.Contains(string(data), "csh") {
+		t.Errorf(".login = %q, %v", data, err)
+	}
+}
+
+func TestCleanExtractionFixed(t *testing.T) {
+	t.Parallel()
+	k, l := World(Fixed)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	exit, crash := k.Run(p, l.Prog)
+	if crash != nil || exit != 0 {
+		t.Fatalf("fixed clean run: exit %d, crash %v, stderr %s", exit, crash, p.Stderr.String())
+	}
+}
+
+// TestDirectMaliciousSubmission replays the paper's scenario without the
+// engine: the student's archive carries "../.login".
+func TestDirectMaliciousSubmission(t *testing.T) {
+	t.Parallel()
+	k, l := World(Vulnerable)()
+	if err := k.FS.WriteFile(Submission, MaliciousArchive(), 0o600, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	_, crash := k.Run(p, l.Prog)
+	// The overwrite lands before the overlong member crashes the parser.
+	data, err := k.FS.ReadFile(LoginScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "evil") {
+		t.Errorf(".login = %q; the ../ member must overwrite it", data)
+	}
+	if crash == nil {
+		t.Error("overlong member name did not crash the unchecked copy")
+	}
+}
+
+// TestCampaignFindsBoth: the EAI campaign discovers the same two failures
+// via the content-invariance perturbation of the stored submission.
+func TestCampaignFindsBoth(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawEscape, sawCrash bool
+	for _, in := range res.Violations() {
+		for _, v := range in.Violations {
+			switch v.Kind {
+			case policy.KindIntegrity:
+				if v.Object == LoginScript {
+					sawEscape = true
+				}
+			case policy.KindCrash:
+				sawCrash = true
+			}
+		}
+	}
+	if !sawEscape {
+		t.Error("campaign missed the ../.login overwrite")
+		for _, in := range res.Injections {
+			t.Logf("  %s %s -> %v", in.Point, in.FaultID, in.Violations)
+		}
+	}
+	if !sawCrash {
+		t.Error("campaign missed the member-name overflow")
+	}
+}
+
+// TestFixedExtractorTolerates: the repaired extractor refuses the hostile
+// members and survives the whole campaign.
+func TestFixedExtractorTolerates(t *testing.T) {
+	t.Parallel()
+	res, err := inject.Run(Campaign(Fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed untar violated under %s: %v", in.FaultID, in.Violations)
+		}
+	}
+	// And concretely: the malicious archive extracts nothing hostile.
+	k, l := World(Fixed)()
+	if err := k.FS.WriteFile(Submission, MaliciousArchive(), 0o600, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	if _, crash := k.Run(p, l.Prog); crash != nil {
+		t.Fatalf("fixed extractor crashed: %v", crash)
+	}
+	data, err := k.FS.ReadFile(LoginScript)
+	if err != nil || strings.Contains(string(data), "evil") {
+		t.Errorf(".login = %q, %v", data, err)
+	}
+	if !strings.Contains(p.Stderr.String(), "refusing member") {
+		t.Errorf("stderr = %q", p.Stderr.String())
+	}
+}
+
+// TestAbsoluteMemberRejectedByBoth: both variants implement the original's
+// leading-slash check.
+func TestAbsoluteMemberRejectedByBoth(t *testing.T) {
+	t.Parallel()
+	for name, prog := range map[string]kernel.Program{"vulnerable": Vulnerable, "fixed": Fixed} {
+		prog := prog
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, l := World(prog)()
+			// A purely absolute-path archive.
+			abs := archive.Pack([]archive.Entry{
+				{Name: "/etc/shadow", Mode: 0o644, Data: []byte("owned")},
+			})
+			if err := k.FS.WriteFile(Submission, abs, 0o600, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+			p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+			k.Run(p, l.Prog)
+			if !strings.Contains(p.Stderr.String(), "refusing absolute member") {
+				t.Errorf("stderr = %q", p.Stderr.String())
+			}
+			if data, _ := k.FS.ReadFile("/etc/shadow"); !strings.Contains(string(data), "TARHASH") {
+				t.Error("/etc/shadow modified")
+			}
+		})
+	}
+}

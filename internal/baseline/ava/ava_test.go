@@ -1,0 +1,103 @@
+package ava
+
+import (
+	"testing"
+
+	"repro/internal/apps/lpr"
+	"repro/internal/apps/turnin"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func TestDeterministic(t *testing.T) {
+	t.Parallel()
+	c := turnin.Campaign(turnin.Vulnerable)
+	a := Run("turnin", c.World, c.Policy, Options{Trials: 30, Seed: 5})
+	b := Run("turnin", c.World, c.Policy, Options{Trials: 30, Seed: 5})
+	if a.Crashes != b.Crashes || a.Violations != b.Violations {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestAVAFindsCrashes: internal-state corruption reaches the unchecked
+// buffer copies.
+func TestAVAFindsCrashes(t *testing.T) {
+	t.Parallel()
+	c := turnin.Campaign(turnin.Vulnerable)
+	res := Run("turnin", c.World, c.Policy, Options{Trials: 150, Seed: 2})
+	if res.Crashes == 0 {
+		t.Error("AVA never crashed the vulnerable turnin")
+	}
+}
+
+// TestAVAMissesDirectFaults reproduces the complementarity claim of
+// Section 5: "For attacks that do not affect the internal states of an
+// application, AVA appears incapable of simulating them". The lpr create
+// flaw is purely environmental (a planted symlink), so AVA — which only
+// corrupts input values — finds none of the four violations the EAI
+// engine detects at that point.
+func TestAVAMissesDirectFaults(t *testing.T) {
+	t.Parallel()
+	c := lpr.CreateSiteCampaign(lpr.Vulnerable)
+	eaiRes, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eaiRes.Metric().Violations() != 4 {
+		t.Fatalf("EAI violations = %d, want 4", eaiRes.Metric().Violations())
+	}
+	avaRes := Run("lpr", c.World, c.Policy, Options{Trials: 200, Seed: 3})
+	integrity := avaRes.ViolationKinds[policy.KindIntegrity]
+	if integrity > 0 {
+		t.Errorf("AVA found %d integrity violations in lpr; the flaw requires environment perturbation", integrity)
+	}
+}
+
+// TestEAIFindsSemanticAttacksAVARarely: across the same trial budget, the
+// 41-fault EAI campaign finds the semantic violations (leaks, escapes)
+// that random corruption essentially never composes.
+func TestEAIFindsSemanticAttacksAVARarely(t *testing.T) {
+	t.Parallel()
+	c := turnin.Campaign(turnin.Vulnerable)
+	eaiRes, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eaiSemantic := 0
+	for _, in := range eaiRes.Violations() {
+		for _, v := range in.Violations {
+			if v.Kind == policy.KindConfidentiality || v.Kind == policy.KindIntegrity {
+				eaiSemantic++
+			}
+		}
+	}
+	if eaiSemantic < 6 {
+		t.Fatalf("EAI semantic violations = %d, want >= 6", eaiSemantic)
+	}
+	avaRes := Run("turnin", c.World, c.Policy, Options{Trials: 41, Seed: 4})
+	avaSemantic := avaRes.ViolationKinds[policy.KindConfidentiality] +
+		avaRes.ViolationKinds[policy.KindIntegrity]
+	if avaSemantic >= eaiSemantic {
+		t.Errorf("AVA semantic violations (%d) should fall well below EAI's (%d) at equal budget",
+			avaSemantic, eaiSemantic)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	t.Parallel()
+	o := Options{}.withDefaults()
+	if o.Trials != 100 || o.CorruptProb != 0.5 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestCorruptShapes(t *testing.T) {
+	t.Parallel()
+	// corrupt never panics on empty input and never aliases its input.
+	c := turnin.Campaign(turnin.Vulnerable)
+	res := Run("turnin-high-corrupt", c.World, c.Policy,
+		Options{Trials: 30, Seed: 9, CorruptProb: 1.0})
+	if res.Trials != 30 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+}

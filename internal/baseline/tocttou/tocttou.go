@@ -1,0 +1,159 @@
+// Package tocttou reimplements the Bishop-Dilger comparator of Section 5:
+// a detector for time-of-check-to-time-of-use patterns — "an application
+// checks for a particular characteristic of an object and then takes some
+// action that assumes the characteristic still holds".
+//
+// Bishop and Dilger analyse source code; the closest analogue over this
+// repository's substrate is analysis of the recorded interaction trace,
+// flagging every check interaction on an object followed by a use
+// interaction on the same object. As the paper notes, the approach covers
+// exactly one flaw class: it flags races between explicit checks and uses,
+// but is blind to flaws with no check at all (lpr's unconditional creat)
+// and to flaws in the value of an input rather than the identity of an
+// object (the whole of Table 5). The package tests and the comparison
+// bench measure that blindness against the EAI engine's findings.
+package tocttou
+
+import (
+	"fmt"
+
+	"repro/internal/interpose"
+)
+
+// Finding is one check-use pair on the same object.
+type Finding struct {
+	Object     string
+	CheckPoint string
+	CheckOp    interpose.Op
+	UsePoint   string
+	UseOp      interpose.Op
+	// Gap is the number of interactions between check and use — a proxy
+	// for the width of the race window.
+	Gap int
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("TOCTTOU %s: %s@%s ... %s@%s (window %d)",
+		f.Object, f.CheckOp, f.CheckPoint, f.UseOp, f.UsePoint, f.Gap)
+}
+
+// isCheck reports whether the op observes an object's characteristics.
+func isCheck(op interpose.Op) bool {
+	switch op {
+	case interpose.OpStat, interpose.OpLstat, interpose.OpReadlink,
+		interpose.OpReadDir, interpose.OpRegGet:
+		return true
+	default:
+		return false
+	}
+}
+
+// isUse reports whether the op acts on the object assuming the checked
+// characteristics still hold.
+func isUse(op interpose.Op) bool {
+	switch op {
+	case interpose.OpOpen, interpose.OpCreate, interpose.OpWrite,
+		interpose.OpUnlink, interpose.OpRename, interpose.OpChmod,
+		interpose.OpChown, interpose.OpExec, interpose.OpMkdir:
+		return true
+	default:
+		return false
+	}
+}
+
+// Analyze scans a trace for check-use pairs. Each object is reported at
+// most once, for its first check and the first use after it.
+func Analyze(trace []interpose.Event) []Finding {
+	type check struct {
+		point string
+		op    interpose.Op
+		seq   int
+	}
+	checks := make(map[string]check)
+	reported := make(map[string]bool)
+	var out []Finding
+	for i := range trace {
+		ev := &trace[i]
+		obj := ev.ResolvedPath
+		if obj == "" {
+			continue
+		}
+		switch {
+		case isCheck(ev.Call.Op):
+			if _, ok := checks[obj]; !ok {
+				checks[obj] = check{point: ev.Call.PointID(), op: ev.Call.Op, seq: ev.Call.Seq}
+			}
+		case isUse(ev.Call.Op):
+			c, ok := checks[obj]
+			if !ok || reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			out = append(out, Finding{
+				Object:     obj,
+				CheckPoint: c.point,
+				CheckOp:    c.op,
+				UsePoint:   ev.Call.PointID(),
+				UseOp:      ev.Call.Op,
+				Gap:        ev.Call.Seq - c.seq,
+			})
+		}
+	}
+	return out
+}
+
+// AnalyzeDirs extends Analyze with the directory-ancestor variant Bishop
+// and Dilger describe: a check on a directory followed by a use of an
+// object inside it. Plain Analyze findings are included.
+func AnalyzeDirs(trace []interpose.Event) []Finding {
+	out := Analyze(trace)
+	type check struct {
+		point string
+		op    interpose.Op
+		seq   int
+	}
+	dirChecks := make(map[string]check)
+	reported := make(map[string]bool)
+	for _, f := range out {
+		reported[f.Object] = true
+	}
+	for i := range trace {
+		ev := &trace[i]
+		obj := ev.ResolvedPath
+		if obj == "" {
+			continue
+		}
+		if isCheck(ev.Call.Op) {
+			if _, ok := dirChecks[obj]; !ok {
+				dirChecks[obj] = check{point: ev.Call.PointID(), op: ev.Call.Op, seq: ev.Call.Seq}
+			}
+			continue
+		}
+		if !isUse(ev.Call.Op) {
+			continue
+		}
+		for dir, c := range dirChecks {
+			if !hasDirPrefix(obj, dir) || reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			out = append(out, Finding{
+				Object:     obj,
+				CheckPoint: c.point,
+				CheckOp:    c.op,
+				UsePoint:   ev.Call.PointID(),
+				UseOp:      ev.Call.Op,
+				Gap:        ev.Call.Seq - c.seq,
+			})
+		}
+	}
+	return out
+}
+
+func hasDirPrefix(obj, dir string) bool {
+	if len(obj) <= len(dir) || obj[:len(dir)] != dir {
+		return false
+	}
+	return obj[len(dir)] == '/'
+}

@@ -1,0 +1,150 @@
+package tocttou
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/lpr"
+	"repro/internal/apps/turnin"
+	"repro/internal/interpose"
+)
+
+func ev(seq int, site string, op interpose.Op, resolved string) interpose.Event {
+	return interpose.Event{
+		Call:         interpose.Call{Seq: seq, Site: site, Op: op, Path: resolved},
+		ResolvedPath: resolved,
+	}
+}
+
+func TestAnalyzeBasicPair(t *testing.T) {
+	t.Parallel()
+	trace := []interpose.Event{
+		ev(0, "app:stat", interpose.OpStat, "/tmp/f"),
+		ev(1, "app:other", interpose.OpGetenv, "PATH"),
+		ev(2, "app:open", interpose.OpCreate, "/tmp/f"),
+	}
+	got := Analyze(trace)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v", got)
+	}
+	f := got[0]
+	if f.Object != "/tmp/f" || f.CheckOp != interpose.OpStat ||
+		f.UseOp != interpose.OpCreate || f.Gap != 2 {
+		t.Errorf("finding = %+v", f)
+	}
+	if !strings.Contains(f.String(), "TOCTTOU /tmp/f") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestAnalyzeNoCheckNoFinding(t *testing.T) {
+	t.Parallel()
+	// Use without a prior check — lpr's unconditional creat — produces no
+	// finding: the Bishop-Dilger blind spot.
+	trace := []interpose.Event{
+		ev(0, "lpr:create", interpose.OpCreate, "/var/spool/lpd/cfa001"),
+		ev(1, "lpr:write", interpose.OpWrite, "/var/spool/lpd/cfa001"),
+	}
+	if got := Analyze(trace); len(got) != 0 {
+		t.Errorf("findings = %v", got)
+	}
+}
+
+func TestAnalyzeDifferentObjectsNoFinding(t *testing.T) {
+	t.Parallel()
+	trace := []interpose.Event{
+		ev(0, "app:stat", interpose.OpStat, "/a"),
+		ev(1, "app:open", interpose.OpCreate, "/b"),
+	}
+	if got := Analyze(trace); len(got) != 0 {
+		t.Errorf("findings = %v", got)
+	}
+}
+
+func TestAnalyzeReportsObjectOnce(t *testing.T) {
+	t.Parallel()
+	trace := []interpose.Event{
+		ev(0, "app:stat", interpose.OpStat, "/f"),
+		ev(1, "app:w1", interpose.OpWrite, "/f"),
+		ev(2, "app:w2", interpose.OpWrite, "/f"),
+	}
+	if got := Analyze(trace); len(got) != 1 {
+		t.Errorf("findings = %v", got)
+	}
+}
+
+func TestUseBeforeCheckIgnored(t *testing.T) {
+	t.Parallel()
+	trace := []interpose.Event{
+		ev(0, "app:open", interpose.OpCreate, "/f"),
+		ev(1, "app:stat", interpose.OpStat, "/f"),
+	}
+	if got := Analyze(trace); len(got) != 0 {
+		t.Errorf("findings = %v", got)
+	}
+}
+
+func TestAnalyzeDirs(t *testing.T) {
+	t.Parallel()
+	trace := []interpose.Event{
+		ev(0, "app:statdir", interpose.OpStat, "/u/submit"),
+		ev(1, "app:create", interpose.OpCreate, "/u/submit/hw1.c"),
+	}
+	got := AnalyzeDirs(trace)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v", got)
+	}
+	if got[0].Object != "/u/submit/hw1.c" || got[0].CheckPoint != "app:statdir#0" {
+		t.Errorf("finding = %+v", got[0])
+	}
+	// Non-descendant paths do not match.
+	trace2 := []interpose.Event{
+		ev(0, "app:statdir", interpose.OpStat, "/u/submit"),
+		ev(1, "app:create", interpose.OpCreate, "/u/submitX"),
+	}
+	if got := AnalyzeDirs(trace2); len(got) != 0 {
+		t.Errorf("prefix confusion: %v", got)
+	}
+}
+
+// TestTurninTraceFindings: the detector flags turnin's stat-then-mkdir /
+// stat-then-create window on the submit tree.
+func TestTurninTraceFindings(t *testing.T) {
+	t.Parallel()
+	k, l := turnin.World(turnin.Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	if _, crash := k.Run(p, l.Prog); crash != nil {
+		t.Fatal(crash)
+	}
+	got := AnalyzeDirs(k.Bus.Trace())
+	if len(got) == 0 {
+		t.Fatal("no findings on the turnin trace")
+	}
+	foundSubmitWindow := false
+	for _, f := range got {
+		if strings.HasPrefix(f.Object, turnin.SubmitDir) && f.CheckPoint == "turnin:stat-submitdir#0" {
+			foundSubmitWindow = true
+		}
+	}
+	if !foundSubmitWindow {
+		t.Errorf("submit-dir race window not flagged: %v", got)
+	}
+}
+
+// TestLprBlindSpot reproduces the Section 5 comparison: lpr's flaw has no
+// check-use pair, so the static TOCTTOU pattern misses it while the EAI
+// campaign (see the lpr package tests) detects four violations at the same
+// point.
+func TestLprBlindSpot(t *testing.T) {
+	t.Parallel()
+	k, l := lpr.World(lpr.Vulnerable)()
+	p := k.NewProc(l.Cred, l.Env, l.Cwd, l.Args...)
+	if _, crash := k.Run(p, l.Prog); crash != nil {
+		t.Fatal(crash)
+	}
+	for _, f := range AnalyzeDirs(k.Bus.Trace()) {
+		if f.Object == lpr.SpoolFile {
+			t.Errorf("detector flagged the spool file without any check in the code: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package core groups the paper's primary contribution: the EAI fault
+// model (core/eai), the security oracle (core/policy), the fault-injection
+// engine implementing the Section 3.3 procedure (core/inject), the
+// two-dimensional test-adequacy metric of Figure 2 (core/coverage), and
+// report rendering (core/report).
+//
+// The package itself holds no code; it exists to document the layering:
+//
+//	sim/* (substrates)  ←  interpose  ←  core/eai  ←  core/inject
+//	                                      core/policy ↗    core/coverage
+package core

@@ -1,0 +1,114 @@
+// Package coverage implements the paper's two-dimensional test-adequacy
+// metric (Section 3.2, Figure 2): fault coverage — the fraction of
+// injected faults the application tolerated — crossed with interaction
+// coverage — the fraction of environment-interaction points that were
+// perturbed at all.
+package coverage
+
+import "fmt"
+
+// Metric is one point on the Figure 2 plane.
+type Metric struct {
+	// FaultsInjected is n in the Section 3.3 procedure.
+	FaultsInjected int
+	// FaultsTolerated is FaultsInjected minus the runs that violated the
+	// security policy.
+	FaultsTolerated int
+	// PointsPerturbed is the number of interaction points where at least
+	// one fault was injected.
+	PointsPerturbed int
+	// PointsTotal is the number of interaction points observed on the
+	// execution trace.
+	PointsTotal int
+}
+
+// FaultCoverage returns tolerated/injected — the paper's vulnerability
+// assessment score. With no injections it returns 1 (vacuous toleration).
+func (m Metric) FaultCoverage() float64 {
+	if m.FaultsInjected == 0 {
+		return 1
+	}
+	return float64(m.FaultsTolerated) / float64(m.FaultsInjected)
+}
+
+// InteractionCoverage returns perturbed/total interaction points. With no
+// points it returns 0.
+func (m Metric) InteractionCoverage() float64 {
+	if m.PointsTotal == 0 {
+		return 0
+	}
+	return float64(m.PointsPerturbed) / float64(m.PointsTotal)
+}
+
+// Violations returns the number of non-tolerated injections.
+func (m Metric) Violations() int { return m.FaultsInjected - m.FaultsTolerated }
+
+// String renders the metric as "(IC=0.80, FC=0.78)".
+func (m Metric) String() string {
+	return fmt.Sprintf("(IC=%.2f, FC=%.2f)", m.InteractionCoverage(), m.FaultCoverage())
+}
+
+// Region is one of the four significant regions of the Figure 2 plane.
+type Region int
+
+// Regions, numbered as the figure's sample points.
+const (
+	// RegionInadequate (point 1): low interaction and low fault coverage —
+	// the test says nothing.
+	RegionInadequate Region = iota + 1
+	// RegionNarrow (point 2): high fault coverage but few interactions
+	// perturbed — the apparent robustness is unearned.
+	RegionNarrow
+	// RegionInsecure (point 3): interactions well covered, faults poorly
+	// tolerated — the application is likely vulnerable.
+	RegionInsecure
+	// RegionSafe (point 4): high interaction and fault coverage — the
+	// safest region.
+	RegionSafe
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case RegionInadequate:
+		return "inadequate"
+	case RegionNarrow:
+		return "inadequate(narrow)"
+	case RegionInsecure:
+		return "insecure"
+	case RegionSafe:
+		return "safe"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// DefaultThreshold splits "low" from "high" on both axes. The paper leaves
+// the split to the tester; 0.75 is this implementation's default.
+const DefaultThreshold = 0.75
+
+// Classify places a metric in its Figure 2 region using the default
+// threshold.
+func Classify(m Metric) Region { return ClassifyAt(m, DefaultThreshold, DefaultThreshold) }
+
+// ClassifyAt places a metric using explicit per-axis thresholds.
+func ClassifyAt(m Metric, icThreshold, fcThreshold float64) Region {
+	highIC := m.InteractionCoverage() >= icThreshold
+	highFC := m.FaultCoverage() >= fcThreshold
+	switch {
+	case highIC && highFC:
+		return RegionSafe
+	case highIC:
+		return RegionInsecure
+	case highFC:
+		return RegionNarrow
+	default:
+		return RegionInadequate
+	}
+}
+
+// Adequate reports whether the metric satisfies the adequacy criterion on
+// the interaction axis (Section 3.3 step 9 loops until it does).
+func Adequate(m Metric, icThreshold float64) bool {
+	return m.InteractionCoverage() >= icThreshold
+}

@@ -1,0 +1,141 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFaultCoverage(t *testing.T) {
+	t.Parallel()
+	m := Metric{FaultsInjected: 41, FaultsTolerated: 32}
+	if got := m.FaultCoverage(); got < 0.78 || got > 0.79 {
+		t.Errorf("FaultCoverage = %v", got)
+	}
+	if got := m.Violations(); got != 9 {
+		t.Errorf("Violations = %d", got)
+	}
+	// Vacuous case.
+	if got := (Metric{}).FaultCoverage(); got != 1 {
+		t.Errorf("empty FaultCoverage = %v", got)
+	}
+}
+
+func TestInteractionCoverage(t *testing.T) {
+	t.Parallel()
+	m := Metric{PointsPerturbed: 8, PointsTotal: 10}
+	if got := m.InteractionCoverage(); got != 0.8 {
+		t.Errorf("InteractionCoverage = %v", got)
+	}
+	if got := (Metric{}).InteractionCoverage(); got != 0 {
+		t.Errorf("empty InteractionCoverage = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	t.Parallel()
+	m := Metric{FaultsInjected: 10, FaultsTolerated: 5, PointsPerturbed: 1, PointsTotal: 2}
+	if got := m.String(); !strings.Contains(got, "IC=0.50") || !strings.Contains(got, "FC=0.50") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestFigure2SamplePoints reproduces the four sample points of Figure 2.
+func TestFigure2SamplePoints(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		m    Metric
+		want Region
+	}{
+		{"point 1: low/low", Metric{FaultsInjected: 10, FaultsTolerated: 2, PointsPerturbed: 1, PointsTotal: 10}, RegionInadequate},
+		{"point 2: high FC, low IC", Metric{FaultsInjected: 10, FaultsTolerated: 10, PointsPerturbed: 1, PointsTotal: 10}, RegionNarrow},
+		{"point 3: high IC, low FC", Metric{FaultsInjected: 10, FaultsTolerated: 2, PointsPerturbed: 10, PointsTotal: 10}, RegionInsecure},
+		{"point 4: high/high", Metric{FaultsInjected: 10, FaultsTolerated: 10, PointsPerturbed: 10, PointsTotal: 10}, RegionSafe},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := Classify(tt.m); got != tt.want {
+				t.Errorf("Classify(%v) = %v, want %v", tt.m, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyAtThresholds(t *testing.T) {
+	t.Parallel()
+	m := Metric{FaultsInjected: 10, FaultsTolerated: 6, PointsPerturbed: 6, PointsTotal: 10}
+	if got := ClassifyAt(m, 0.5, 0.5); got != RegionSafe {
+		t.Errorf("loose thresholds = %v", got)
+	}
+	if got := ClassifyAt(m, 0.9, 0.9); got != RegionInadequate {
+		t.Errorf("strict thresholds = %v", got)
+	}
+}
+
+func TestAdequate(t *testing.T) {
+	t.Parallel()
+	m := Metric{PointsPerturbed: 8, PointsTotal: 10}
+	if !Adequate(m, 0.8) {
+		t.Error("0.8 coverage not adequate at 0.8")
+	}
+	if Adequate(m, 0.9) {
+		t.Error("0.8 coverage adequate at 0.9")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	t.Parallel()
+	for r, want := range map[Region]string{
+		RegionInadequate: "inadequate",
+		RegionNarrow:     "inadequate(narrow)",
+		RegionInsecure:   "insecure",
+		RegionSafe:       "safe",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
+
+// Property: coverages are always within [0, 1] for consistent metrics.
+func TestCoverageBounds(t *testing.T) {
+	t.Parallel()
+	f := func(inj, tol, pp, pt uint8) bool {
+		m := Metric{
+			FaultsInjected:  int(inj),
+			FaultsTolerated: int(tol) % (int(inj) + 1),
+			PointsPerturbed: int(pp) % (int(pt) + 1),
+			PointsTotal:     int(pt),
+		}
+		fc, ic := m.FaultCoverage(), m.InteractionCoverage()
+		return fc >= 0 && fc <= 1 && ic >= 0 && ic <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: classification is monotone — improving both coverages never
+// moves the metric to a strictly worse region.
+func TestClassifyMonotone(t *testing.T) {
+	t.Parallel()
+	rank := map[Region]int{RegionInadequate: 0, RegionNarrow: 1, RegionInsecure: 1, RegionSafe: 2}
+	f := func(tol, pp uint8) bool {
+		base := Metric{FaultsInjected: 100, FaultsTolerated: int(tol) % 101,
+			PointsTotal: 100, PointsPerturbed: int(pp) % 101}
+		better := base
+		if better.FaultsTolerated < 100 {
+			better.FaultsTolerated++
+		}
+		if better.PointsPerturbed < 100 {
+			better.PointsPerturbed++
+		}
+		return rank[Classify(better)] >= rank[Classify(base)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package eai
+
+import (
+	"testing"
+
+	"repro/internal/interpose"
+	"repro/internal/sim/netsim"
+	"repro/internal/sim/vfs"
+)
+
+func TestReadTargetOverrides(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	if err := k.FS.WriteFile("/tmp/bait", []byte("staged payload"), 0o644, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReadTargetOverrides = map[string]string{
+		"/u/course/Projlist": "/tmp/bait",
+	}
+	f := directByName(t, EntityFileSystem, "symbolic-link")
+	// Overridden object links to the bait.
+	ctx := fileCtx(k, cfg, interpose.OpOpen, "/u/course/Projlist")
+	ctx.Call.Flags = 1 // read
+	if err := f.Apply(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := k.FS.LookupNoFollow("/", "/u/course/Projlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Target != "/tmp/bait" {
+		t.Errorf("override target = %q", ln.Target)
+	}
+	// Non-overridden object still links to the default read target.
+	if err := k.FS.WriteFile("/tmp/other.conf", []byte("x"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := fileCtx(k, cfg, interpose.OpOpen, "/tmp/other.conf")
+	ctx2.Call.Flags = 1
+	if err := f.Apply(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := k.FS.LookupNoFollow("/", "/tmp/other.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln2.Target != "/etc/shadow" {
+		t.Errorf("default target = %q", ln2.Target)
+	}
+}
+
+func TestSymlinkFaultCreatesMissingParents(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	f := directByName(t, EntityFileSystem, "symbolic-link")
+	ctx := fileCtx(k, cfg, interpose.OpCreate, "/u/course/submit/assignment1/hw1.c")
+	if err := f.Apply(ctx); err != nil {
+		t.Fatalf("symlink into missing dir: %v", err)
+	}
+	ln, err := k.FS.LookupNoFollow("/", "/u/course/submit/assignment1/hw1.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ln.IsSymlink() {
+		t.Error("not a symlink")
+	}
+	// The planted parent belongs to the attacker.
+	dir, err := k.FS.Lookup("/", "/u/course/submit/assignment1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.UID != cfg.Attacker.UID {
+		t.Errorf("planted parent uid = %d", dir.UID)
+	}
+}
+
+func TestOwnershipFaultCreatesMissingParents(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	f := directByName(t, EntityFileSystem, "ownership")
+	ctx := fileCtx(k, cfg, interpose.OpCreate, "/var/spool/deep/path/file")
+	if err := f.Apply(ctx); err != nil {
+		t.Fatalf("ownership plant into missing dir: %v", err)
+	}
+	n, err := k.FS.Lookup("/", "/var/spool/deep/path/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.UID != 0 || n.Mode != 0o600 {
+		t.Errorf("planted = uid %d mode %o", n.UID, uint16(n.Mode))
+	}
+}
+
+func TestRelativeObjectPathsResolveAgainstCwd(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	f := directByName(t, EntityFileSystem, "existence")
+	ctx := &Ctx{
+		Kern: k,
+		Call: &interpose.Call{Op: interpose.OpOpen, Kind: interpose.KindFile, Path: "Projlist"},
+		Cwd:  "/u/course",
+		Cfg:  cfg,
+	}
+	if err := f.Apply(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if k.FS.Exists("/u/course/Projlist") {
+		t.Error("relative existence fault missed the cwd-resolved object")
+	}
+}
+
+func TestProtocolFaultSingleMessage(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	k.Net = newSingleMessageNet()
+	f := directByName(t, EntityNetwork, "protocol")
+	ctx := &Ctx{
+		Kern: k,
+		Call: &interpose.Call{Op: interpose.OpConnect, Kind: interpose.KindNetwork, Path: "10.0.0.9:9"},
+		Cwd:  "/",
+		Cfg:  cfg,
+	}
+	if err := f.Apply(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(k.Net.Service("10.0.0.9:9").Script); got != 0 {
+		t.Errorf("single-message protocol fault left %d messages (want omitted step)", got)
+	}
+}
+
+func TestErrNotApplicableFromMissingService(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	k.Net = newSingleMessageNet()
+	f := directByName(t, EntityNetwork, "message-authenticity")
+	ctx := &Ctx{
+		Kern: k,
+		Call: &interpose.Call{Op: interpose.OpConnect, Kind: interpose.KindNetwork, Path: "1.2.3.4:1"},
+		Cwd:  "/",
+		Cfg:  cfg,
+	}
+	if err := f.Apply(ctx); err == nil {
+		t.Error("apply to missing service succeeded")
+	}
+}
+
+func TestNameInvarianceMovesAside(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	f := directByName(t, EntityFileSystem, "name-invariance")
+	ctx := fileCtx(k, cfg, interpose.OpOpen, "/etc/passwd")
+	if err := f.Apply(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if k.FS.Exists("/etc/passwd") {
+		t.Error("original name still present")
+	}
+	data, err := k.FS.ReadFile("/etc/passwd.moved")
+	if err != nil || len(data) == 0 {
+		t.Errorf("moved file = %q, %v", data, err)
+	}
+}
+
+func TestPermissionFaultDirRestriction(t *testing.T) {
+	t.Parallel()
+	k, cfg := newCtxWorld(t)
+	f := directByName(t, EntityFileSystem, "permission")
+	ctx := fileCtx(k, cfg, interpose.OpStat, "/u/course/submit")
+	ctx.Call.Kind = interpose.KindDir
+	if err := f.Apply(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d, err := k.FS.Lookup("/", "/u/course/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.UID != 0 || d.Mode != 0o700 {
+		t.Errorf("restricted dir = uid %d mode %o", d.UID, uint16(d.Mode))
+	}
+	if !vfs.Allows(d, 0, 0, vfs.WantExec) {
+		t.Error("root lost search on the restricted dir")
+	}
+}
+
+// newSingleMessageNet builds a network with one single-message service for
+// protocol-fault edge cases.
+func newSingleMessageNet() *netsim.Net {
+	n := netsim.New()
+	n.AddService(&netsim.Service{
+		Addr: "10.0.0.9:9", Available: true, Trusted: true,
+		Script: []netsim.Message{{From: "svc", Data: []byte("only"), Authentic: true}},
+	})
+	return n
+}

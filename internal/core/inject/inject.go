@@ -1,0 +1,284 @@
+// Package inject implements the Environment Fault Injection Methodology of
+// Section 3.3: enumerate the environment-interaction points of an
+// execution trace, build the per-point fault list from the EAI catalogs,
+// inject one fault per run (direct faults before the interaction point,
+// indirect faults after it), observe the security oracle, and score the
+// campaign with the two-dimensional adequacy metric.
+package inject
+
+import (
+	"errors"
+
+	"repro/internal/core/coverage"
+	"repro/internal/core/eai"
+	"repro/internal/core/policy"
+	"repro/internal/interpose"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/proc"
+	"repro/internal/sim/vfs"
+)
+
+// Static errors.
+var (
+	ErrNoWorld    = errors.New("inject: campaign has no world factory")
+	ErrEmptyTrace = errors.New("inject: clean run produced no interactions")
+	ErrCleanCrash = errors.New("inject: application crashed on the clean run")
+)
+
+// Launch describes how to start the application under test in a freshly
+// built world.
+type Launch struct {
+	Cred proc.Cred
+	Env  proc.Env
+	Cwd  string
+	Args []string
+	Prog kernel.Program
+}
+
+// Factory builds a fresh world and launch description. It is invoked once
+// per injection run, so every run starts from an identical environment —
+// the paper's requirement that faults be injected into a known state.
+type Factory func() (*kernel.Kernel, Launch)
+
+// Campaign is one application-under-test configuration.
+type Campaign struct {
+	// Name labels reports.
+	Name string
+	// World builds the environment and launch parameters.
+	World Factory
+	// Policy is the security oracle configuration.
+	Policy policy.Policy
+	// Faults parameterises the direct-fault appliers.
+	Faults eai.Config
+	// Sites restricts perturbation to these call sites (the tester's
+	// step-4 choice of objects). Empty means every eligible site.
+	Sites []string
+	// Semantics annotates input sites with their Table 5 semantic kind.
+	// Unannotated sites fall back to eai.InferSemantic.
+	Semantics map[string]eai.Semantic
+}
+
+// Options are engine variations used by the ablation benchmarks. The zero
+// value is the paper's methodology.
+type Options struct {
+	// NoObjectDedup disables the suppression of direct faults already
+	// injected for the same (object, attribute) at an earlier point.
+	NoObjectDedup bool
+	// OnlyDirect skips indirect faults.
+	OnlyDirect bool
+	// OnlyIndirect skips direct faults.
+	OnlyIndirect bool
+	// DirectAfterPoint injects direct faults *after* the interaction point
+	// instead of before — deliberately wrong timing, for the ablation
+	// showing why Section 3.3 step 6 orders them as it does.
+	DirectAfterPoint bool
+}
+
+// Injection is the outcome of one fault-injection run.
+type Injection struct {
+	// Point is the interaction point (site#occur) armed.
+	Point string
+	// Site is the static call-site portion of Point.
+	Site string
+	// FaultID identifies the catalog fault injected.
+	FaultID string
+	// Class is direct or indirect.
+	Class eai.Class
+	// Attr is set for direct faults.
+	Attr eai.Attr
+	// Sem is set for indirect faults.
+	Sem eai.Semantic
+	// Applied reports whether the fault actually landed (the armed point
+	// was reached and the applier succeeded).
+	Applied bool
+	// ApplyErr holds the applier error, if any.
+	ApplyErr string
+	// Exit is the process exit code.
+	Exit int
+	// CrashMsg is non-empty when the run ended in a simulated memory
+	// error.
+	CrashMsg string
+	// Violations are the oracle findings.
+	Violations []policy.Violation
+}
+
+// Tolerated reports whether the application tolerated this fault.
+func (in Injection) Tolerated() bool { return len(in.Violations) == 0 }
+
+// Result is a completed campaign.
+type Result struct {
+	Campaign string
+	// CleanTrace is the unperturbed execution trace.
+	CleanTrace []interpose.Event
+	// TotalSites is every distinct call site on the clean trace, in first-
+	// hit order.
+	TotalSites []string
+	// PerturbedSites is the subset that received at least one injection.
+	PerturbedSites []string
+	// Injections holds one entry per fault-injection run.
+	Injections []Injection
+}
+
+// Metric computes the Figure 2 adequacy metric for the campaign.
+func (r *Result) Metric() coverage.Metric {
+	tolerated := 0
+	for _, in := range r.Injections {
+		if in.Tolerated() {
+			tolerated++
+		}
+	}
+	return coverage.Metric{
+		FaultsInjected:  len(r.Injections),
+		FaultsTolerated: tolerated,
+		PointsPerturbed: len(r.PerturbedSites),
+		PointsTotal:     len(r.TotalSites),
+	}
+}
+
+// Violations returns every non-tolerated injection.
+func (r *Result) Violations() []Injection {
+	var out []Injection
+	for _, in := range r.Injections {
+		if !in.Tolerated() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// ViolationsBySite groups violating injections by call site.
+func (r *Result) ViolationsBySite() map[string][]Injection {
+	out := make(map[string][]Injection)
+	for _, in := range r.Violations() {
+		out[in.Site] = append(out[in.Site], in)
+	}
+	return out
+}
+
+// planned is one (point, fault) pair scheduled for injection.
+type planned struct {
+	site  string
+	occur int
+	dir   *eai.DirectFault
+	ind   *eai.IndirectFault
+}
+
+// Run executes the campaign with the paper's methodology.
+func Run(c Campaign) (*Result, error) { return RunWith(c, Options{}) }
+
+// RunWith executes the campaign with explicit engine options: steps 2-5
+// (clean run, point enumeration, fault lists) via planCampaign, then one
+// injection run per planned fault (steps 6-8).
+func RunWith(c Campaign, opt Options) (*Result, error) {
+	c.Faults = c.Faults.WithDefaults()
+	pr, err := planCampaign(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := pr.result
+	for _, pl := range pr.plans {
+		res.Injections = append(res.Injections, runOne(c, opt, pl))
+	}
+	return res, nil
+}
+
+// callCwd returns the working directory the call was made from, falling
+// back to the launch cwd for older traces.
+func callCwd(call *interpose.Call, l Launch) string {
+	if call.Cwd != "" {
+		return call.Cwd
+	}
+	if l.Cwd != "" {
+		return l.Cwd
+	}
+	return "/"
+}
+
+// objectIdentity keys the direct-fault dedup: the resolved object when
+// known, otherwise the canonicalised argument path.
+func objectIdentity(call *interpose.Call) string {
+	return vfs.Canon(callCwd(call, Launch{}), call.Path)
+}
+
+// runOne performs a single fault-injection run (steps 6-8).
+func runOne(c Campaign, opt Options, pl planned) Injection {
+	k, l := c.World()
+	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
+
+	inj := Injection{
+		Point: interpose.PointID(pl.site, pl.occur),
+		Site:  pl.site,
+	}
+
+	// Snap defaults to the pre-run world; a direct fault replaces it with
+	// the post-injection world so the oracle judges against what the
+	// attacker actually arranged.
+	snap := k.FS.Clone()
+	armed := false
+
+	switch {
+	case pl.dir != nil:
+		f := pl.dir
+		inj.FaultID = f.ID
+		inj.Class = eai.ClassDirect
+		inj.Attr = f.Attr
+		apply := func(call *interpose.Call) {
+			if armed || call.Site != pl.site || call.Occur != pl.occur {
+				return
+			}
+			armed = true
+			ctx := &eai.Ctx{
+				Kern:   k,
+				Call:   call,
+				Cwd:    p.Cwd,
+				SetCwd: func(d string) { p.Cwd = d },
+				Cfg:    c.Faults,
+			}
+			if err := f.Apply(ctx); err != nil {
+				inj.ApplyErr = err.Error()
+				return
+			}
+			inj.Applied = true
+			k.Bus.MarkMutated()
+			snap = k.FS.Clone()
+		}
+		if opt.DirectAfterPoint {
+			k.Bus.OnPost(func(call *interpose.Call, _ *interpose.Result) { apply(call) })
+		} else {
+			k.Bus.OnPre(apply)
+		}
+	case pl.ind != nil:
+		f := pl.ind
+		inj.FaultID = f.ID
+		inj.Class = eai.ClassIndirect
+		inj.Sem = f.Sem
+		k.Bus.OnPost(func(call *interpose.Call, r *interpose.Result) {
+			if armed || call.Site != pl.site || call.Occur != pl.occur {
+				return
+			}
+			armed = true
+			inj.Applied = true
+			k.Bus.MarkMutated()
+			switch {
+			case r.Data != nil:
+				r.Data = f.Mutate(r.Data)
+			case r.Str != "":
+				r.Str = string(f.Mutate([]byte(r.Str)))
+			}
+		})
+	}
+
+	exit, crash := k.Run(p, l.Prog)
+	inj.Exit = exit
+	obs := policy.Observation{
+		Trace:  k.Bus.Trace(),
+		Stdout: p.Stdout.Bytes(),
+		Snap:   snap,
+	}
+	if crash != nil {
+		inj.CrashMsg = crash.Msg
+		obs.CrashMsg = crash.Msg
+	}
+	inj.Violations = c.Policy.Evaluate(obs)
+	return inj
+}

@@ -1,0 +1,372 @@
+package inject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/policy"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/proc"
+)
+
+// miniLpr is a condensed Section 3.4 lpr: a set-UID-root spooler that
+// creats a spool file at a fixed path without O_EXCL and writes the job
+// into it.
+func miniLpr(p *kernel.Proc) int {
+	f, err := p.Create("lpr:create", "/var/spool/lpd/cfa001", 0o660)
+	if err != nil {
+		p.Eprintf("lpr: cannot create spool file: %v\n", err)
+		return 1
+	}
+	defer p.Close(f)
+	if _, err := p.Write("lpr:write", f, []byte("job data: "+p.Arg("lpr:arg-file", 1)+"\n")); err != nil {
+		p.Eprintf("lpr: temp file write error\n")
+		return 1
+	}
+	return 0
+}
+
+func lprWorld() (*kernel.Kernel, Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "alice", UID: 100, GID: 100})
+	k.Users.Add(proc.User{Name: "mallory", UID: 666, GID: 666})
+	mustNil(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	mustNil(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\n"), 0o644, 0, 0))
+	mustNil(k.FS.WriteFile("/etc/shadow", []byte("root:$1$HASH$:10000:\n"), 0o600, 0, 0))
+	mustNil(k.FS.MkdirAll("/", "/var/spool/lpd", 0o777, 0, 0))
+	mustNil(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	return k, Launch{
+		Cred: proc.Cred{UID: 100, GID: 100, EUID: 0, EGID: 0}, // set-UID root
+		Env:  proc.NewEnv("PATH", "/usr/bin"),
+		Cwd:  "/",
+		Args: []string{"lpr", "doc.txt"},
+		Prog: miniLpr,
+	}
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func lprCampaign() Campaign {
+	return Campaign{
+		Name:  "mini-lpr",
+		World: lprWorld,
+		Policy: policy.Policy{
+			Invoker:  proc.NewCred(100, 100),
+			Attacker: proc.NewCred(666, 666),
+		},
+		Faults: eai.Config{Attacker: proc.NewCred(666, 666)},
+		Sites:  []string{"lpr:create"},
+	}
+}
+
+func TestLprCreateSiteCampaign(t *testing.T) {
+	t.Parallel()
+	res, err := Run(lprCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.4: four applicable attributes at the create site, all of
+	// which the vulnerable lpr fails to tolerate.
+	if len(res.Injections) != 4 {
+		t.Fatalf("injections = %d, want 4: %+v", len(res.Injections), res.Injections)
+	}
+	wantAttrs := map[eai.Attr]bool{
+		eai.AttrExistence: true, eai.AttrOwnership: true,
+		eai.AttrPermission: true, eai.AttrSymlink: true,
+	}
+	for _, in := range res.Injections {
+		if !wantAttrs[in.Attr] {
+			t.Errorf("unexpected attr %v", in.Attr)
+		}
+		if !in.Applied {
+			t.Errorf("%s not applied: %s", in.FaultID, in.ApplyErr)
+		}
+		if in.Tolerated() {
+			t.Errorf("%s tolerated; the vulnerable lpr must fail it", in.FaultID)
+		}
+	}
+	m := res.Metric()
+	if m.FaultCoverage() != 0 {
+		t.Errorf("fault coverage = %v, want 0", m.FaultCoverage())
+	}
+	if len(res.PerturbedSites) != 1 || res.PerturbedSites[0] != "lpr:create" {
+		t.Errorf("perturbed sites = %v", res.PerturbedSites)
+	}
+}
+
+func TestLprSymlinkFaultReachesPasswd(t *testing.T) {
+	t.Parallel()
+	res, err := Run(lprCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var symlinkInj *Injection
+	for i := range res.Injections {
+		if res.Injections[i].Attr == eai.AttrSymlink {
+			symlinkInj = &res.Injections[i]
+		}
+	}
+	if symlinkInj == nil {
+		t.Fatal("no symlink injection")
+	}
+	found := false
+	for _, v := range symlinkInj.Violations {
+		if v.Kind == policy.KindIntegrity && v.Object == "/etc/passwd" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("symlink fault violations = %v, want integrity on /etc/passwd", symlinkInj.Violations)
+	}
+}
+
+// TestTimingAblation shows why direct faults go before the point: applied
+// after the create has resolved, the symlink perturbation is harmless.
+func TestTimingAblation(t *testing.T) {
+	t.Parallel()
+	res, err := RunWith(lprCampaign(), Options{DirectAfterPoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := res.findAttr(eai.AttrSymlink); in != nil && !in.Tolerated() {
+		t.Errorf("late-injected symlink fault still violated: %v", in.Violations)
+	}
+	mBefore, errB := Run(lprCampaign())
+	if errB != nil {
+		t.Fatal(errB)
+	}
+	if mBefore.Metric().Violations() <= res.Metric().Violations() {
+		t.Errorf("before-point violations (%d) should exceed after-point (%d)",
+			mBefore.Metric().Violations(), res.Metric().Violations())
+	}
+}
+
+// findAttr returns the first injection with the given direct attribute.
+func (r *Result) findAttr(a eai.Attr) *Injection {
+	for i := range r.Injections {
+		if r.Injections[i].Attr == a {
+			return &r.Injections[i]
+		}
+	}
+	return nil
+}
+
+func TestFullCampaignAllSites(t *testing.T) {
+	t.Parallel()
+	c := lprCampaign()
+	c.Sites = nil // every eligible site
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites on the clean trace: create, write, arg.
+	if len(res.TotalSites) != 3 {
+		t.Fatalf("total sites = %v", res.TotalSites)
+	}
+	// create: 4 direct; write: direct deduped against create's object (all
+	// four attrs already injected) → 0; arg: indirect user-input (SemRaw
+	// inferred → 2 faults).
+	if len(res.PerturbedSites) != 2 {
+		t.Errorf("perturbed sites = %v", res.PerturbedSites)
+	}
+	direct, indirect := 0, 0
+	for _, in := range res.Injections {
+		switch in.Class {
+		case eai.ClassDirect:
+			direct++
+		case eai.ClassIndirect:
+			indirect++
+		}
+	}
+	if direct != 4 || indirect != 2 {
+		t.Errorf("direct/indirect = %d/%d, want 4/2", direct, indirect)
+	}
+}
+
+func TestNoDedupAblation(t *testing.T) {
+	t.Parallel()
+	c := lprCampaign()
+	c.Sites = nil
+	dedup, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodedup, err := RunWith(c, Options{NoObjectDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without dedup the write site re-injects the same four attributes on
+	// the same object.
+	if len(nodedup.Injections) <= len(dedup.Injections) {
+		t.Errorf("no-dedup injections (%d) should exceed dedup (%d)",
+			len(nodedup.Injections), len(dedup.Injections))
+	}
+}
+
+func TestOnlyDirectOnlyIndirect(t *testing.T) {
+	t.Parallel()
+	c := lprCampaign()
+	c.Sites = nil
+	d, err := RunWith(c, Options{OnlyDirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Injections {
+		if in.Class != eai.ClassDirect {
+			t.Errorf("OnlyDirect produced %v", in.Class)
+		}
+	}
+	i, err := RunWith(c, Options{OnlyIndirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range i.Injections {
+		if in.Class != eai.ClassIndirect {
+			t.Errorf("OnlyIndirect produced %v", in.Class)
+		}
+	}
+}
+
+func TestSemanticsAnnotation(t *testing.T) {
+	t.Parallel()
+	c := lprCampaign()
+	c.Sites = []string{"lpr:arg-file"}
+	c.Semantics = map[string]eai.Semantic{"lpr:arg-file": eai.SemFileName}
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SemFileName has 5 perturbations.
+	if len(res.Injections) != 5 {
+		t.Fatalf("injections = %d, want 5", len(res.Injections))
+	}
+	for _, in := range res.Injections {
+		if in.Sem != eai.SemFileName {
+			t.Errorf("sem = %v", in.Sem)
+		}
+		if !in.Applied {
+			t.Errorf("%s not applied", in.FaultID)
+		}
+	}
+}
+
+func TestFixedLprToleratesEverything(t *testing.T) {
+	t.Parallel()
+	// The fixed lpr uses O_EXCL and refuses pre-existing spool files —
+	// the paper's step "we assume that faults found during testing are
+	// removed".
+	fixed := func(p *kernel.Proc) int {
+		f, err := p.Open("lpr:create", "/var/spool/lpd/cfa001",
+			kernel.OWrite|kernel.OCreate|kernel.OExcl, 0o660)
+		if err != nil {
+			p.Eprintf("lpr: spool file unsafe: %v\n", err)
+			return 1
+		}
+		defer p.Close(f)
+		if _, err := p.Write("lpr:write", f, []byte("job data\n")); err != nil {
+			return 1
+		}
+		return 0
+	}
+	c := lprCampaign()
+	c.World = func() (*kernel.Kernel, Launch) {
+		k, l := lprWorld()
+		l.Prog = fixed
+		return k, l
+	}
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Injections) == 0 {
+		t.Fatal("no injections")
+	}
+	for _, in := range res.Injections {
+		if !in.Tolerated() {
+			t.Errorf("fixed lpr violated under %s: %v", in.FaultID, in.Violations)
+		}
+	}
+	if fc := res.Metric().FaultCoverage(); fc != 1 {
+		t.Errorf("fixed lpr fault coverage = %v, want 1", fc)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Campaign{}); !errors.Is(err, ErrNoWorld) {
+		t.Errorf("no world err = %v", err)
+	}
+	// Clean-run crash is a campaign error.
+	c := lprCampaign()
+	c.World = func() (*kernel.Kernel, Launch) {
+		k, l := lprWorld()
+		l.Prog = func(p *kernel.Proc) int { p.Crash("boom"); return 0 }
+		return k, l
+	}
+	if _, err := Run(c); !errors.Is(err, ErrCleanCrash) {
+		t.Errorf("clean crash err = %v", err)
+	}
+	// Empty trace is a campaign error.
+	c2 := lprCampaign()
+	c2.World = func() (*kernel.Kernel, Launch) {
+		k, l := lprWorld()
+		l.Prog = func(p *kernel.Proc) int { return 0 }
+		return k, l
+	}
+	if _, err := Run(c2); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace err = %v", err)
+	}
+}
+
+func TestInjectionBookkeeping(t *testing.T) {
+	t.Parallel()
+	res, err := Run(lprCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if in.Point != "lpr:create#0" {
+			t.Errorf("point = %q", in.Point)
+		}
+		if in.Site != "lpr:create" {
+			t.Errorf("site = %q", in.Site)
+		}
+		if !strings.HasPrefix(in.FaultID, "direct/file-system/") {
+			t.Errorf("fault id = %q", in.FaultID)
+		}
+	}
+	bySite := res.ViolationsBySite()
+	if len(bySite["lpr:create"]) != 4 {
+		t.Errorf("violations by site = %v", bySite)
+	}
+}
+
+func TestIndirectFaultPerturbsValueNotWorld(t *testing.T) {
+	t.Parallel()
+	// An indirect fault on the arg must not touch the filesystem.
+	c := lprCampaign()
+	c.Sites = []string{"lpr:arg-file"}
+	c.Semantics = map[string]eai.Semantic{"lpr:arg-file": eai.SemFileName}
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.Injections {
+		if in.Class != eai.ClassIndirect {
+			t.Errorf("class = %v", in.Class)
+		}
+	}
+	// The spool file write happens with the perturbed arg embedded; the
+	// overlong variant must not crash this app (it has no fixed buffer).
+	for _, in := range res.Injections {
+		if in.CrashMsg != "" {
+			t.Errorf("%s crashed: %s", in.FaultID, in.CrashMsg)
+		}
+	}
+}

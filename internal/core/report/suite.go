@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/coverage"
+	"repro/internal/core/inject"
+)
+
+// SuiteRow is one campaign's line in a suite summary.
+type SuiteRow struct {
+	Name       string
+	Points     int
+	Injected   int
+	Violations int
+	FC         float64
+	IC         float64
+	Region     coverage.Region
+}
+
+// Suite summarises many campaign results side by side — the view the
+// paper's Section 4 gives across its targets.
+func Suite(results []*inject.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %7s %9s %10s %7s %7s  %s\n",
+		"campaign", "points", "injected", "violations", "FC", "IC", "region")
+	for _, r := range Rows(results) {
+		fmt.Fprintf(&b, "%-20s %7d %9d %10d %7.3f %7.3f  %s\n",
+			r.Name, r.Points, r.Injected, r.Violations, r.FC, r.IC, r.Region)
+	}
+	return b.String()
+}
+
+// Rows computes the summary rows.
+func Rows(results []*inject.Result) []SuiteRow {
+	rows := make([]SuiteRow, 0, len(results))
+	for _, res := range results {
+		m := res.Metric()
+		rows = append(rows, SuiteRow{
+			Name:       res.Campaign,
+			Points:     m.PointsPerturbed,
+			Injected:   m.FaultsInjected,
+			Violations: m.Violations(),
+			FC:         m.FaultCoverage(),
+			IC:         m.InteractionCoverage(),
+			Region:     coverage.Classify(m),
+		})
+	}
+	return rows
+}
+
+// Totals aggregates a suite into one metric (micro-average over
+// injections and points).
+func Totals(results []*inject.Result) coverage.Metric {
+	var total coverage.Metric
+	for _, res := range results {
+		m := res.Metric()
+		total.FaultsInjected += m.FaultsInjected
+		total.FaultsTolerated += m.FaultsTolerated
+		total.PointsPerturbed += m.PointsPerturbed
+		total.PointsTotal += m.PointsTotal
+	}
+	return total
+}

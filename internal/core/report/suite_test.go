@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+)
+
+func suiteResults() []*inject.Result {
+	mkInj := func(tolerate bool) inject.Injection {
+		in := inject.Injection{Point: "s#0", Site: "s", FaultID: "direct/file-system/existence",
+			Class: eai.ClassDirect, Attr: eai.AttrExistence, Applied: true}
+		if !tolerate {
+			in.Violations = []policy.Violation{{Kind: policy.KindIntegrity, Object: "/x"}}
+		}
+		return in
+	}
+	return []*inject.Result{
+		{
+			Campaign:       "alpha",
+			TotalSites:     []string{"a", "b"},
+			PerturbedSites: []string{"a", "b"},
+			Injections:     []inject.Injection{mkInj(true), mkInj(true)},
+		},
+		{
+			Campaign:       "beta",
+			TotalSites:     []string{"a", "b", "c", "d"},
+			PerturbedSites: []string{"a"},
+			Injections:     []inject.Injection{mkInj(false), mkInj(true)},
+		},
+	}
+}
+
+func TestSuiteRendering(t *testing.T) {
+	t.Parallel()
+	out := Suite(suiteResults())
+	for _, want := range []string{"alpha", "beta", "campaign", "region", "safe"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRows(t *testing.T) {
+	t.Parallel()
+	rows := Rows(suiteResults())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "alpha" || rows[0].FC != 1 || rows[0].IC != 1 || rows[0].Violations != 0 {
+		t.Errorf("alpha = %+v", rows[0])
+	}
+	if rows[1].Violations != 1 || rows[1].FC != 0.5 || rows[1].IC != 0.25 {
+		t.Errorf("beta = %+v", rows[1])
+	}
+}
+
+func TestTotals(t *testing.T) {
+	t.Parallel()
+	m := Totals(suiteResults())
+	if m.FaultsInjected != 4 || m.FaultsTolerated != 3 ||
+		m.PointsPerturbed != 3 || m.PointsTotal != 6 {
+		t.Errorf("totals = %+v", m)
+	}
+	if m.Violations() != 1 {
+		t.Errorf("violations = %d", m.Violations())
+	}
+}

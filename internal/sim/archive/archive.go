@@ -1,0 +1,121 @@
+// Package archive is a minimal tar-like container format. The paper's
+// turnin attack rides on exactly this substrate: submissions travel as
+// archives whose member names are attacker-chosen, and an extractor that
+// trusts member names ("../.login", absolute paths) writes outside its
+// extraction root. The format is deliberately simple — length-prefixed
+// records — because the vulnerability is in the *semantics* of member
+// names, not in the encoding.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim/vfs"
+)
+
+// Static errors.
+var (
+	ErrTruncated = errors.New("archive: truncated input")
+	ErrBadMagic  = errors.New("archive: bad magic")
+	ErrTooLarge  = errors.New("archive: entry exceeds size limit")
+)
+
+// magic identifies the format ("EPAR" = environment-perturbation archive).
+var magic = [4]byte{'E', 'P', 'A', 'R'}
+
+// MaxEntrySize bounds a single member, mirroring the extraction quota real
+// unpackers enforce.
+const MaxEntrySize = 1 << 20
+
+// Entry is one archive member.
+type Entry struct {
+	// Name is the member path, stored verbatim — the attack surface.
+	Name string
+	// Mode is the permission set to apply on extraction.
+	Mode vfs.Mode
+	// Data is the member content.
+	Data []byte
+}
+
+// Pack serialises entries. Layout:
+//
+//	magic[4] count[4]
+//	per entry: nameLen[4] name mode[2] dataLen[4] data
+func Pack(entries []Entry) []byte {
+	size := 8
+	for _, e := range entries {
+		size += 4 + len(e.Name) + 2 + 4 + len(e.Data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, magic[:]...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Name)))
+		out = append(out, e.Name...)
+		out = binary.BigEndian.AppendUint16(out, uint16(e.Mode))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Data)))
+		out = append(out, e.Data...)
+	}
+	return out
+}
+
+// Unpack parses an archive. Entries are validated structurally (lengths,
+// magic) but member names are returned verbatim: sanitising them is the
+// extractor's job, and precisely the behaviour under test.
+func Unpack(data []byte) ([]Entry, error) {
+	if len(data) < 8 {
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	pos := 8
+	need := func(n int) error {
+		if pos+n > len(data) {
+			return fmt.Errorf("%w: need %d bytes at offset %d", ErrTruncated, n, pos)
+		}
+		return nil
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		nameLen := int(binary.BigEndian.Uint32(data[pos:]))
+		pos += 4
+		if nameLen > MaxEntrySize {
+			return nil, fmt.Errorf("%w: name %d bytes", ErrTooLarge, nameLen)
+		}
+		if err := need(nameLen); err != nil {
+			return nil, err
+		}
+		name := string(data[pos : pos+nameLen])
+		pos += nameLen
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		mode := vfs.Mode(binary.BigEndian.Uint16(data[pos:]))
+		pos += 2
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		dataLen := int(binary.BigEndian.Uint32(data[pos:]))
+		pos += 4
+		if dataLen > MaxEntrySize {
+			return nil, fmt.Errorf("%w: data %d bytes", ErrTooLarge, dataLen)
+		}
+		if err := need(dataLen); err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{
+			Name: name,
+			Mode: mode & vfs.ModePermMask,
+			Data: append([]byte(nil), data[pos:pos+dataLen]...),
+		})
+		pos += dataLen
+	}
+	return entries, nil
+}

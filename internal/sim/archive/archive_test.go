@@ -1,0 +1,140 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/vfs"
+)
+
+func TestRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := []Entry{
+		{Name: "hw1.c", Mode: 0o644, Data: []byte("int main(void){return 0;}\n")},
+		{Name: "notes/README", Mode: 0o600, Data: []byte("see hw1.c")},
+		{Name: "empty", Mode: 0o444, Data: nil},
+	}
+	out, err := Unpack(Pack(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("entries = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name || out[i].Mode != in[i].Mode ||
+			!bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestHostileNamesSurviveVerbatim(t *testing.T) {
+	t.Parallel()
+	// The format must NOT sanitise — the extractor owns that decision.
+	hostile := []Entry{
+		{Name: "../.login", Mode: 0o644, Data: []byte("evil")},
+		{Name: "/etc/passwd", Mode: 0o644, Data: []byte("evil")},
+		{Name: "a/../../b", Mode: 0o644, Data: []byte("evil")},
+	}
+	out, err := Unpack(Pack(hostile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hostile {
+		if out[i].Name != hostile[i].Name {
+			t.Errorf("name %q mangled to %q", hostile[i].Name, out[i].Name)
+		}
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Unpack(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, err := Unpack([]byte("XXXX\x00\x00\x00\x00")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic err = %v", err)
+	}
+	// Truncated mid-entry.
+	full := Pack([]Entry{{Name: "f", Mode: 0o644, Data: []byte("data")}})
+	for cut := 9; cut < len(full); cut += 3 {
+		if _, err := Unpack(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d err = %v", cut, err)
+		}
+	}
+	// Oversized declared name.
+	bad := append([]byte{}, full[:8]...)
+	bad = append(bad, 0xff, 0xff, 0xff, 0xff)
+	if _, err := Unpack(bad); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize err = %v", err)
+	}
+}
+
+func TestModeMasked(t *testing.T) {
+	t.Parallel()
+	out, err := Unpack(Pack([]Entry{{Name: "f", Mode: vfs.Mode(0xffff), Data: nil}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Mode&^vfs.ModePermMask != 0 {
+		t.Errorf("mode = %o, non-permission bits survived", uint16(out[0].Mode))
+	}
+}
+
+// Property: Pack/Unpack round-trips arbitrary entries.
+func TestRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	f := func(names []string, blobs [][]byte) bool {
+		var in []Entry
+		for i, n := range names {
+			if len(n) > 1024 {
+				n = n[:1024]
+			}
+			var data []byte
+			if i < len(blobs) {
+				data = blobs[i]
+				if len(data) > 4096 {
+					data = data[:4096]
+				}
+			}
+			in = append(in, Entry{Name: n, Mode: vfs.Mode(i) & vfs.ModePermMask, Data: data})
+		}
+		out, err := Unpack(Pack(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Name != in[i].Name || !bytes.Equal(out[i].Data, in[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unpack never panics on arbitrary bytes.
+func TestUnpackTotal(t *testing.T) {
+	t.Parallel()
+	f := func(junk []byte) bool {
+		_, _ = Unpack(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// And with a valid prefix grafted on.
+	g := func(junk []byte) bool {
+		data := append(Pack([]Entry{{Name: "x", Data: []byte("y")}}), junk...)
+		_, _ = Unpack(data)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

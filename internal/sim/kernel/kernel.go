@@ -1,0 +1,207 @@
+// Package kernel is the simulated operating-system layer: it joins the
+// filesystem, network, and registry substrates with process credentials
+// and exposes a UNIX-flavoured syscall API to simulated applications.
+//
+// Every syscall is routed through the interpose.Bus, making each one an
+// environment-interaction point in the sense of Du & Mathur (DSN 2000,
+// Section 3): pre-hooks perturb the environment before the kernel acts
+// (direct faults), post-hooks perturb what the application receives
+// (indirect faults), and the bus records the execution trace the
+// methodology enumerates.
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/interpose"
+	"repro/internal/sim/netsim"
+	"repro/internal/sim/proc"
+	"repro/internal/sim/registry"
+	"repro/internal/sim/vfs"
+)
+
+// Static errors in the errno style.
+var (
+	ErrPerm     = errors.New("kernel: permission denied")
+	ErrBadFD    = errors.New("kernel: bad file descriptor")
+	ErrNoExec   = errors.New("kernel: exec format error")
+	ErrNotFound = errors.New("kernel: command not found")
+	ErrNoNet    = errors.New("kernel: no network configured")
+	ErrNoReg    = errors.New("kernel: no registry configured")
+)
+
+// Program is a simulated executable: application code written against the
+// kernel syscall API. The return value is the process exit code.
+type Program func(p *Proc) int
+
+// Kernel is one simulated machine: substrates, account database, program
+// images, and the interaction bus for the current run.
+type Kernel struct {
+	FS    *vfs.FS
+	Net   *netsim.Net
+	Reg   *registry.Registry
+	Users *proc.Users
+	Bus   *interpose.Bus
+
+	programs  map[string]Program
+	mailboxes map[string][][]byte
+	nextPID   int
+}
+
+// PostMessage enqueues a process-input message for MsgRecv. World builders
+// and the process-input fault appliers use it directly.
+func (k *Kernel) PostMessage(mailbox string, data []byte) {
+	if k.mailboxes == nil {
+		k.mailboxes = make(map[string][][]byte)
+	}
+	k.mailboxes[mailbox] = append(k.mailboxes[mailbox], append([]byte(nil), data...))
+}
+
+// PeekMailbox returns the queued messages for a mailbox (for perturbation
+// and tests).
+func (k *Kernel) PeekMailbox(mailbox string) [][]byte { return k.mailboxes[mailbox] }
+
+// SetMailbox replaces a mailbox queue.
+func (k *Kernel) SetMailbox(mailbox string, msgs [][]byte) {
+	if k.mailboxes == nil {
+		k.mailboxes = make(map[string][][]byte)
+	}
+	k.mailboxes[mailbox] = msgs
+}
+
+// New returns a kernel with a fresh filesystem, account database, and
+// interaction bus. Network and registry substrates are optional; attach
+// them directly when a world needs them.
+func New() *Kernel {
+	return &Kernel{
+		FS:        vfs.New(),
+		Users:     proc.NewUsers(),
+		Bus:       interpose.NewBus(),
+		programs:  make(map[string]Program),
+		mailboxes: make(map[string][][]byte),
+	}
+}
+
+// RegisterProgram installs a program image at the given absolute path.
+// Exec of that (resolved) path runs the program in a child process.
+func (k *Kernel) RegisterProgram(path string, prog Program) {
+	k.programs[path] = prog
+}
+
+// NewProc creates a process with the given credentials, environment, and
+// working directory.
+func (k *Kernel) NewProc(cred proc.Cred, env proc.Env, cwd string, args ...string) *Proc {
+	k.nextPID++
+	if env == nil {
+		env = proc.Env{}
+	}
+	if cwd == "" {
+		cwd = "/"
+	}
+	return &Proc{
+		K:     k,
+		PID:   k.nextPID,
+		Cred:  cred,
+		Umask: 0o022,
+		Env:   env,
+		Args:  args,
+		Cwd:   cwd,
+	}
+}
+
+// Crash is the uncontrolled-failure outcome of a simulated memory error
+// (e.g. an unchecked buffer copy). The Fuzz comparison counts crashes; the
+// EAI oracle treats them as failed toleration too.
+type Crash struct {
+	Msg string
+}
+
+// Error implements error.
+func (c *Crash) Error() string { return "crash: " + c.Msg }
+
+// Run executes prog in process p, converting a simulated memory error into
+// a Crash result instead of unwinding the test harness. Exit code 139
+// (SIGSEGV-style) is reported for crashes.
+func (k *Kernel) Run(p *Proc, prog Program) (exit int, crash *Crash) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*Crash)
+			if !ok {
+				panic(r)
+			}
+			exit, crash = 139, c
+		}
+	}()
+	return prog(p), nil
+}
+
+// Proc is a simulated process. All syscalls are methods on Proc so every
+// interaction carries the caller's credentials.
+type Proc struct {
+	K     *Kernel
+	PID   int
+	Cred  proc.Cred
+	Umask vfs.Mode
+	Env   proc.Env
+	Args  []string
+	Cwd   string
+
+	Stdout bytes.Buffer
+	Stderr bytes.Buffer
+}
+
+// Printf writes formatted output to the process's stdout, which the
+// security oracle treats as invoker-visible.
+func (p *Proc) Printf(format string, args ...any) {
+	fmt.Fprintf(&p.Stdout, format, args...)
+}
+
+// Eprintf writes formatted output to stderr.
+func (p *Proc) Eprintf(format string, args ...any) {
+	fmt.Fprintf(&p.Stderr, format, args...)
+}
+
+// Crash aborts the process with a simulated memory error.
+func (p *Proc) Crash(format string, args ...any) {
+	panic(&Crash{Msg: fmt.Sprintf(format, args...)})
+}
+
+// CopyBounded models the classic unchecked strcpy into a fixed buffer: if
+// src exceeds the buffer, the process crashes (simulating the memory
+// corruption a real overflow causes). It returns the number of bytes
+// copied.
+func (p *Proc) CopyBounded(dst []byte, src []byte) int {
+	if len(src) > len(dst) {
+		p.Crash("buffer overflow: copying %d bytes into %d-byte buffer", len(src), len(dst))
+	}
+	return copy(dst, src)
+}
+
+// SetEUID changes the effective uid. Permitted when the process is
+// privileged, or when switching among the real and saved uids (seteuid
+// semantics — a set-UID program may drop privilege and regain it).
+func (p *Proc) SetEUID(uid int) error {
+	if p.Cred.EUID != 0 && uid != p.Cred.UID && uid != p.Cred.SUID {
+		return fmt.Errorf("%w: seteuid(%d) from euid %d", ErrPerm, uid, p.Cred.EUID)
+	}
+	p.Cred.EUID = uid
+	return nil
+}
+
+// begin stamps and dispatches a call through the bus.
+func (p *Proc) begin(c *interpose.Call) *interpose.Call {
+	c.UID = p.Cred.UID
+	c.EUID = p.Cred.EUID
+	c.GID = p.Cred.GID
+	c.EGID = p.Cred.EGID
+	c.Cwd = p.Cwd
+	p.K.Bus.Begin(c)
+	return c
+}
+
+// end completes the call on the bus.
+func (p *Proc) end(c *interpose.Call, r *interpose.Result, resolved string) {
+	p.K.Bus.End(c, r, resolved)
+}

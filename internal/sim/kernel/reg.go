@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"repro/internal/interpose"
+	"repro/internal/sim/registry"
+)
+
+// principalFor maps POSIX-style effective credentials onto the registry's
+// NT-style principals: euid 0 acts as Administrator, everyone else as an
+// authenticated user.
+func principalFor(euid int) registry.Principal {
+	if euid == 0 {
+		return registry.Administrator
+	}
+	return registry.AuthenticatedUser
+}
+
+// RegGetString reads a registry string value through the bus. Registry
+// reads are environment input: the Section 4.2 perturbations rewrite what
+// the consuming module receives by writing the unprotected key first.
+func (p *Proc) RegGetString(site, key, name string) (string, error) {
+	if p.K.Reg == nil {
+		return "", ErrNoReg
+	}
+	c := p.begin(&interpose.Call{
+		Site: site, Op: interpose.OpRegGet, Kind: interpose.KindRegistry,
+		Path: key, Path2: name,
+	})
+	s, err := p.K.Reg.GetString(c.Path, c.Path2, principalFor(p.Cred.EUID))
+	r := &interpose.Result{Data: []byte(s), Err: err}
+	p.end(c, r, c.Path+`\`+c.Path2)
+	if r.Err != nil {
+		return "", r.Err
+	}
+	return string(r.Data), nil
+}
+
+// RegGetDWord reads a registry numeric value through the bus.
+func (p *Proc) RegGetDWord(site, key, name string) (uint32, error) {
+	if p.K.Reg == nil {
+		return 0, ErrNoReg
+	}
+	c := p.begin(&interpose.Call{
+		Site: site, Op: interpose.OpRegGet, Kind: interpose.KindRegistry,
+		Path: key, Path2: name,
+	})
+	d, err := p.K.Reg.GetDWord(c.Path, c.Path2, principalFor(p.Cred.EUID))
+	r := &interpose.Result{N: int(d), Err: err}
+	p.end(c, r, c.Path+`\`+c.Path2)
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	return uint32(r.N), nil
+}
+
+// RegSetString writes a registry string value through the bus.
+func (p *Proc) RegSetString(site, key, name, value string) error {
+	if p.K.Reg == nil {
+		return ErrNoReg
+	}
+	c := p.begin(&interpose.Call{
+		Site: site, Op: interpose.OpRegSet, Kind: interpose.KindRegistry,
+		Path: key, Path2: name, Data: []byte(value),
+	})
+	err := p.K.Reg.SetString(c.Path, c.Path2, string(c.Data), principalFor(p.Cred.EUID))
+	r := &interpose.Result{Err: err}
+	p.end(c, r, c.Path+`\`+c.Path2)
+	return r.Err
+}
+
+// RegDeleteValue removes a registry value through the bus.
+func (p *Proc) RegDeleteValue(site, key, name string) error {
+	if p.K.Reg == nil {
+		return ErrNoReg
+	}
+	c := p.begin(&interpose.Call{
+		Site: site, Op: interpose.OpRegDel, Kind: interpose.KindRegistry,
+		Path: key, Path2: name,
+	})
+	err := p.K.Reg.DeleteValue(c.Path, c.Path2, principalFor(p.Cred.EUID))
+	r := &interpose.Result{Err: err}
+	p.end(c, r, c.Path+`\`+c.Path2)
+	return r.Err
+}

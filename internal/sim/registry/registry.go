@@ -1,0 +1,388 @@
+// Package registry models a Windows-NT-style configuration registry:
+// hierarchical keys with typed values and per-key access-control lists.
+//
+// Section 4.2 of the paper tests Windows NT 4.0 (SP3) modules that consume
+// *unprotected* registry keys — keys every user may write — and shows that
+// privileged consumers trusting those keys can be driven to delete
+// arbitrary files or load profiles from attacker directories. This package
+// reproduces the substrate: keys, ACLs, and the notion of an unprotected
+// key, so the same perturbations can be applied.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Static errors.
+var (
+	ErrNoKey   = errors.New("registry: key not found")
+	ErrNoValue = errors.New("registry: value not found")
+	ErrAccess  = errors.New("registry: access denied")
+	ErrBadPath = errors.New("registry: malformed key path")
+	ErrExists  = errors.New("registry: key exists")
+)
+
+// Principal classifies the subject performing a registry operation.
+type Principal int
+
+// Principals, most privileged first.
+const (
+	System Principal = iota + 1
+	Administrator
+	AuthenticatedUser
+	Everyone
+)
+
+// String returns the principal name.
+func (p Principal) String() string {
+	switch p {
+	case System:
+		return "SYSTEM"
+	case Administrator:
+		return "Administrator"
+	case AuthenticatedUser:
+		return "AuthenticatedUser"
+	case Everyone:
+		return "Everyone"
+	default:
+		return fmt.Sprintf("Principal(%d)", int(p))
+	}
+}
+
+// Rights is a bitmask of registry permissions.
+type Rights int
+
+// Permission bits.
+const (
+	RightRead Rights = 1 << iota
+	RightWrite
+	RightDelete
+)
+
+// ACL maps principals to rights. A subject holds the union of the rights
+// granted to every principal class it belongs to (SYSTEM ⊇ Administrator ⊇
+// AuthenticatedUser ⊇ Everyone).
+type ACL map[Principal]Rights
+
+// Clone returns an independent copy.
+func (a ACL) Clone() ACL {
+	c := make(ACL, len(a))
+	for p, r := range a {
+		c[p] = r
+	}
+	return c
+}
+
+// Grants reports whether the subject principal holds all wanted rights,
+// accumulating rights across the classes the subject belongs to.
+func (a ACL) Grants(subject Principal, want Rights) bool {
+	var held Rights
+	for p, r := range a {
+		if subject <= p { // numerically smaller principals are supersets
+			held |= r
+		}
+	}
+	return held&want == want
+}
+
+// DefaultACL is the protected-key default: SYSTEM and Administrator full
+// control, everyone else read-only.
+func DefaultACL() ACL {
+	return ACL{
+		System:        RightRead | RightWrite | RightDelete,
+		Administrator: RightRead | RightWrite | RightDelete,
+		Everyone:      RightRead,
+	}
+}
+
+// UnprotectedACL is the misconfiguration Section 4.2 studies: Everyone may
+// write.
+func UnprotectedACL() ACL {
+	return ACL{
+		System:        RightRead | RightWrite | RightDelete,
+		Administrator: RightRead | RightWrite | RightDelete,
+		Everyone:      RightRead | RightWrite,
+	}
+}
+
+// ValueType discriminates registry value payloads.
+type ValueType int
+
+// Value types.
+const (
+	TypeString ValueType = iota + 1
+	TypeDWord
+	TypeExpandString
+)
+
+// Value is one named datum under a key.
+type Value struct {
+	Type ValueType
+	S    string
+	D    uint32
+}
+
+// Key is a registry key: values plus subkeys plus an ACL.
+type Key struct {
+	Name    string
+	ACL     ACL
+	values  map[string]Value
+	subkeys map[string]*Key
+}
+
+func newKey(name string, acl ACL) *Key {
+	return &Key{
+		Name:    name,
+		ACL:     acl,
+		values:  make(map[string]Value),
+		subkeys: make(map[string]*Key),
+	}
+}
+
+// Unprotected reports whether Everyone can write this key — the paper's
+// criterion for a key worth perturbing.
+func (k *Key) Unprotected() bool { return k.ACL.Grants(Everyone, RightWrite) }
+
+// ValueNames returns the sorted value names.
+func (k *Key) ValueNames() []string {
+	names := make([]string, 0, len(k.values))
+	for n := range k.values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SubkeyNames returns the sorted subkey names.
+func (k *Key) SubkeyNames() []string {
+	names := make([]string, 0, len(k.subkeys))
+	for n := range k.subkeys {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry is the whole hive forest. Paths use backslash separators and a
+// hive root such as `HKLM\Software\Fonts\Cleanup`.
+type Registry struct {
+	hives map[string]*Key
+}
+
+// New returns a registry with the standard hives.
+func New() *Registry {
+	r := &Registry{hives: make(map[string]*Key)}
+	for _, h := range []string{"HKLM", "HKCU", "HKU", "HKCR"} {
+		r.hives[h] = newKey(h, DefaultACL())
+	}
+	return r
+}
+
+func splitPath(path string) ([]string, error) {
+	parts := strings.Split(path, `\`)
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// find walks to the key at path without permission checks.
+func (r *Registry) find(path string) (*Key, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur, ok := r.hives[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("%w: hive %q", ErrNoKey, parts[0])
+	}
+	for _, p := range parts[1:] {
+		next, ok := cur.subkeys[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoKey, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// CreateKey creates the key at path (and any missing intermediate keys)
+// with the given ACL. Existing keys are returned unchanged. This is a
+// world-construction helper and performs no permission checks.
+func (r *Registry) CreateKey(path string, acl ACL) (*Key, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur, ok := r.hives[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("%w: hive %q", ErrNoKey, parts[0])
+	}
+	for i, p := range parts[1:] {
+		next, ok := cur.subkeys[p]
+		if !ok {
+			next = newKey(p, acl.Clone())
+			if i < len(parts)-2 {
+				// Intermediate keys default protected.
+				next.ACL = DefaultACL()
+			}
+			cur.subkeys[p] = next
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Open returns the key at path if the subject has read access.
+func (r *Registry) Open(path string, subject Principal) (*Key, error) {
+	k, err := r.find(path)
+	if err != nil {
+		return nil, err
+	}
+	if !k.ACL.Grants(subject, RightRead) {
+		return nil, fmt.Errorf("%w: %s for %s", ErrAccess, path, subject)
+	}
+	return k, nil
+}
+
+// GetString reads a string value.
+func (r *Registry) GetString(path, name string, subject Principal) (string, error) {
+	k, err := r.Open(path, subject)
+	if err != nil {
+		return "", err
+	}
+	v, ok := k.values[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s\\%s", ErrNoValue, path, name)
+	}
+	if v.Type != TypeString && v.Type != TypeExpandString {
+		return "", fmt.Errorf("%w: %s\\%s is not a string", ErrNoValue, path, name)
+	}
+	return v.S, nil
+}
+
+// GetDWord reads a numeric value.
+func (r *Registry) GetDWord(path, name string, subject Principal) (uint32, error) {
+	k, err := r.Open(path, subject)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := k.values[name]
+	if !ok || v.Type != TypeDWord {
+		return 0, fmt.Errorf("%w: %s\\%s", ErrNoValue, path, name)
+	}
+	return v.D, nil
+}
+
+// SetString writes a string value, subject to the key ACL.
+func (r *Registry) SetString(path, name, s string, subject Principal) error {
+	k, err := r.find(path)
+	if err != nil {
+		return err
+	}
+	if !k.ACL.Grants(subject, RightWrite) {
+		return fmt.Errorf("%w: write %s for %s", ErrAccess, path, subject)
+	}
+	k.values[name] = Value{Type: TypeString, S: s}
+	return nil
+}
+
+// SetDWord writes a numeric value, subject to the key ACL.
+func (r *Registry) SetDWord(path, name string, d uint32, subject Principal) error {
+	k, err := r.find(path)
+	if err != nil {
+		return err
+	}
+	if !k.ACL.Grants(subject, RightWrite) {
+		return fmt.Errorf("%w: write %s for %s", ErrAccess, path, subject)
+	}
+	k.values[name] = Value{Type: TypeDWord, D: d}
+	return nil
+}
+
+// DeleteValue removes a value, subject to the key ACL.
+func (r *Registry) DeleteValue(path, name string, subject Principal) error {
+	k, err := r.find(path)
+	if err != nil {
+		return err
+	}
+	if !k.ACL.Grants(subject, RightDelete) {
+		return fmt.Errorf("%w: delete %s for %s", ErrAccess, path, subject)
+	}
+	if _, ok := k.values[name]; !ok {
+		return fmt.Errorf("%w: %s\\%s", ErrNoValue, path, name)
+	}
+	delete(k.values, name)
+	return nil
+}
+
+// SetACL replaces the ACL on the key at path. World-construction and
+// perturbation helper; no permission check.
+func (r *Registry) SetACL(path string, acl ACL) error {
+	k, err := r.find(path)
+	if err != nil {
+		return err
+	}
+	k.ACL = acl.Clone()
+	return nil
+}
+
+// Walk visits every key depth-first, in sorted order, calling fn with the
+// full backslash path.
+func (r *Registry) Walk(fn func(path string, k *Key)) {
+	hives := make([]string, 0, len(r.hives))
+	for h := range r.hives {
+		hives = append(hives, h)
+	}
+	sort.Strings(hives)
+	var rec func(path string, k *Key)
+	rec = func(path string, k *Key) {
+		fn(path, k)
+		for _, name := range k.SubkeyNames() {
+			rec(path+`\`+name, k.subkeys[name])
+		}
+	}
+	for _, h := range hives {
+		rec(h, r.hives[h])
+	}
+}
+
+// UnprotectedKeys returns the paths of every key writable by Everyone —
+// the key inventory Section 4.2's static-analysis step produces.
+func (r *Registry) UnprotectedKeys() []string {
+	var out []string
+	r.Walk(func(path string, k *Key) {
+		if k.Unprotected() {
+			out = append(out, path)
+		}
+	})
+	return out
+}
+
+// Clone deep-copies the registry for campaign world resets.
+func (r *Registry) Clone() *Registry {
+	c := &Registry{hives: make(map[string]*Key, len(r.hives))}
+	var rec func(k *Key) *Key
+	rec = func(k *Key) *Key {
+		nk := newKey(k.Name, k.ACL.Clone())
+		for n, v := range k.values {
+			nk.values[n] = v
+		}
+		for n, sk := range k.subkeys {
+			nk.subkeys[n] = rec(sk)
+		}
+		return nk
+	}
+	for h, k := range r.hives {
+		c.hives[h] = rec(k)
+	}
+	return c
+}

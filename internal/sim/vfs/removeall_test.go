@@ -1,0 +1,109 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRemoveAll(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.MkdirAll("/", "/deep/a/b/c", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/deep/a/b/c/f", []byte("x"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll("/deep"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/deep") {
+		t.Error("tree still present")
+	}
+	// Missing path is not an error.
+	if err := fs.RemoveAll("/deep"); err != nil {
+		t.Errorf("missing RemoveAll: %v", err)
+	}
+	// Root is protected.
+	if err := fs.RemoveAll("/"); !errors.Is(err, ErrBusy) {
+		t.Errorf("RemoveAll(/) err = %v", err)
+	}
+}
+
+func TestRemoveAllDoesNotFollowFinalSymlink(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/etc", "/tmp/etclink", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll("/tmp/etclink"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/etc/passwd") {
+		t.Error("RemoveAll followed the symlink and destroyed the target")
+	}
+	if fs.Exists("/tmp/etclink") {
+		t.Error("link itself not removed")
+	}
+}
+
+func TestResolveThroughChainedSymlinks(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/b", "/a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Symlink("/", "/c", "/b", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/", "/c", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/c/f", []byte("deep"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Resolve("/", "/a/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != "/c/f" || r.Node == nil {
+		t.Errorf("chained resolve = %+v", r)
+	}
+}
+
+func TestDotDotThroughSymlinkedDir(t *testing.T) {
+	t.Parallel()
+	// Lexical ".." applies to the expanded target path, as in a real
+	// kernel walk: /link/../x with /link -> /etc resolves to /x relative
+	// to /etc's parent.
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/etc", "/tmp/link", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Resolve("/", "/tmp/link/../etc/passwd", true)
+	if err != nil {
+		t.Fatalf("dotdot through link: %v", err)
+	}
+	if r.Path != "/etc/passwd" {
+		t.Errorf("resolved = %q", r.Path)
+	}
+}
+
+func TestNlinkAcrossRemoveAll(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Link("/", "/etc/passwd", "/tmp/pw"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := fs.Lookup("/", "/etc/passwd")
+	if n.Nlink != 2 {
+		t.Fatalf("nlink = %d", n.Nlink)
+	}
+	// Removing one name leaves the other intact.
+	if err := fs.RemoveAll("/tmp/pw"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/etc/passwd") {
+		t.Error("other name vanished")
+	}
+}

@@ -1,0 +1,702 @@
+// Package vfs implements an in-memory UNIX-like filesystem used as the
+// environment substrate for environment-perturbation testing.
+//
+// The filesystem models exactly the attributes the EAI fault model (Du &
+// Mathur, DSN 2000, Table 6) perturbs: existence, ownership, permission
+// bits, symbolic links, file content, file names, and directories. It is
+// pure mechanism: permission *checks* are performed by the kernel layer,
+// which knows process credentials. The vfs layer only stores and resolves.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// NodeType discriminates the three kinds of filesystem object the model
+// supports.
+type NodeType int
+
+// Node types. Enums start at 1 so the zero value is invalid and cannot be
+// mistaken for a real node type.
+const (
+	TypeRegular NodeType = iota + 1
+	TypeDir
+	TypeSymlink
+)
+
+// String returns a human-readable node type name.
+func (t NodeType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "directory"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(t))
+	}
+}
+
+// Mode holds UNIX permission bits plus the setuid/setgid/sticky bits.
+type Mode uint16
+
+// Permission bit masks.
+const (
+	ModeSetUID Mode = 0o4000
+	ModeSetGID Mode = 0o2000
+	ModeSticky Mode = 0o1000
+
+	ModeUserRead   Mode = 0o400
+	ModeUserWrite  Mode = 0o200
+	ModeUserExec   Mode = 0o100
+	ModeGroupRead  Mode = 0o040
+	ModeGroupWrite Mode = 0o020
+	ModeGroupExec  Mode = 0o010
+	ModeOtherRead  Mode = 0o004
+	ModeOtherWrite Mode = 0o002
+	ModeOtherExec  Mode = 0o001
+
+	// ModePermMask selects the twelve permission-relevant bits.
+	ModePermMask Mode = 0o7777
+)
+
+// String renders the mode in conventional rwx notation (e.g. "rwsr-xr-x").
+func (m Mode) String() string {
+	var b [9]byte
+	triples := []struct {
+		r, w, x Mode
+		special Mode
+		sch     byte // letter when special bit and exec both set
+		schNoX  byte // letter when special bit set but exec clear
+	}{
+		{ModeUserRead, ModeUserWrite, ModeUserExec, ModeSetUID, 's', 'S'},
+		{ModeGroupRead, ModeGroupWrite, ModeGroupExec, ModeSetGID, 's', 'S'},
+		{ModeOtherRead, ModeOtherWrite, ModeOtherExec, ModeSticky, 't', 'T'},
+	}
+	for i, t := range triples {
+		o := i * 3
+		b[o] = '-'
+		if m&t.r != 0 {
+			b[o] = 'r'
+		}
+		b[o+1] = '-'
+		if m&t.w != 0 {
+			b[o+1] = 'w'
+		}
+		switch {
+		case m&t.x != 0 && m&t.special != 0:
+			b[o+2] = t.sch
+		case m&t.special != 0:
+			b[o+2] = t.schNoX
+		case m&t.x != 0:
+			b[o+2] = 'x'
+		default:
+			b[o+2] = '-'
+		}
+	}
+	return string(b[:])
+}
+
+// Static errors. These mirror the errno family a real kernel would return
+// and are matched by callers with errors.Is.
+var (
+	ErrNotExist    = errors.New("vfs: no such file or directory")
+	ErrExist       = errors.New("vfs: file exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrLoop        = errors.New("vfs: too many levels of symbolic links")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrInvalid     = errors.New("vfs: invalid argument")
+	ErrCrossLink   = errors.New("vfs: hard link to directory not permitted")
+	ErrBusy        = errors.New("vfs: resource busy")
+	ErrNameTooLong = errors.New("vfs: file name too long")
+)
+
+// MaxNameLen bounds a single path component, mirroring NAME_MAX.
+const MaxNameLen = 255
+
+// maxSymlinkDepth bounds symlink chain traversal, mirroring SYMLOOP_MAX.
+const maxSymlinkDepth = 40
+
+// Inode is a single filesystem object. Directories hold children by name;
+// regular files hold content; symlinks hold a target path.
+type Inode struct {
+	ID     int64
+	Type   NodeType
+	Mode   Mode
+	UID    int
+	GID    int
+	Data   []byte            // TypeRegular payload
+	Target string            // TypeSymlink target path
+	kids   map[string]*Inode // TypeDir children
+	Nlink  int
+
+	// Gen increments on every content mutation; the TOCTTOU baseline and
+	// the content-invariance perturbation use it to detect change between
+	// check and use.
+	Gen int64
+}
+
+// IsDir reports whether the inode is a directory.
+func (n *Inode) IsDir() bool { return n.Type == TypeDir }
+
+// IsSymlink reports whether the inode is a symbolic link.
+func (n *Inode) IsSymlink() bool { return n.Type == TypeSymlink }
+
+// Children returns the sorted child names of a directory inode. It returns
+// nil for non-directories.
+func (n *Inode) Children() []string {
+	if n.Type != TypeDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.kids))
+	for name := range n.kids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Child returns the named child of a directory inode, or nil.
+func (n *Inode) Child(name string) *Inode {
+	if n.Type != TypeDir {
+		return nil
+	}
+	return n.kids[name]
+}
+
+// FS is an in-memory filesystem tree. The zero value is not usable; create
+// instances with New.
+type FS struct {
+	root   *Inode
+	nextID int64
+}
+
+// New returns an empty filesystem whose root directory is owned by root
+// (uid 0, gid 0) with mode 0755.
+func New() *FS {
+	fs := &FS{}
+	fs.root = fs.newInode(TypeDir, 0o755, 0, 0)
+	return fs
+}
+
+// Root returns the root directory inode.
+func (fs *FS) Root() *Inode { return fs.root }
+
+func (fs *FS) newInode(t NodeType, mode Mode, uid, gid int) *Inode {
+	fs.nextID++
+	n := &Inode{
+		ID:    fs.nextID,
+		Type:  t,
+		Mode:  mode & ModePermMask,
+		UID:   uid,
+		GID:   gid,
+		Nlink: 1,
+	}
+	if t == TypeDir {
+		n.kids = make(map[string]*Inode)
+	}
+	return n
+}
+
+// Canon returns path p made absolute against cwd and lexically cleaned.
+// It performs no symlink resolution.
+func Canon(cwd, p string) string {
+	if p == "" {
+		return path.Clean(cwd)
+	}
+	if !strings.HasPrefix(p, "/") {
+		if cwd == "" {
+			cwd = "/"
+		}
+		p = cwd + "/" + p
+	}
+	return path.Clean(p)
+}
+
+// SplitPath splits a cleaned absolute path into components, omitting the
+// leading slash. The root path yields an empty slice.
+func SplitPath(p string) []string {
+	p = path.Clean(p)
+	if p == "/" || p == "" || p == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// Resolved is the result of a path walk.
+type Resolved struct {
+	// Node is the inode the path names, or nil when the final component
+	// does not exist.
+	Node *Inode
+	// Parent is the directory containing the final component. It is always
+	// non-nil on success and when only the final component is missing.
+	Parent *Inode
+	// Name is the final path component ("" for the root).
+	Name string
+	// Path is the fully resolved absolute path with all intermediate (and,
+	// if followed, final) symlinks expanded. This is the identity the
+	// security oracle uses: it names the object actually affected.
+	Path string
+}
+
+// Resolve walks absolute-or-relative path p from cwd. Intermediate symlinks
+// are always followed; the final component is followed only when followLast
+// is true. ".." is resolved during the walk, after symlink expansion — as a
+// real kernel does — so "/link/../x" with /link -> /etc names /x, not a
+// sibling of the link. A missing final component yields Resolved with Node
+// nil and no error, so callers can implement create semantics; missing
+// intermediate components yield ErrNotExist.
+func (fs *FS) Resolve(cwd, p string, followLast bool) (Resolved, error) {
+	abs := p
+	if !strings.HasPrefix(abs, "/") {
+		if cwd == "" {
+			cwd = "/"
+		}
+		abs = strings.TrimSuffix(cwd, "/") + "/" + abs
+	}
+	return fs.resolve(abs, followLast, 0)
+}
+
+// splitRaw splits an absolute path into components, dropping empties and
+// "." but preserving ".." for the walk to handle.
+func splitRaw(abs string) []string {
+	parts := strings.Split(abs, "/")
+	out := parts[:0]
+	for _, c := range parts {
+		if c == "" || c == "." {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func (fs *FS) resolve(abs string, followLast bool, depth int) (Resolved, error) {
+	if depth > maxSymlinkDepth {
+		return Resolved{}, fmt.Errorf("%w: %s", ErrLoop, abs)
+	}
+	comps := splitRaw(abs)
+	// stack holds the directory chain from the root; names the component
+	// names entering each stack level past the root.
+	stack := []*Inode{fs.root}
+	var names []string
+	pathOf := func() string {
+		if len(names) == 0 {
+			return "/"
+		}
+		return "/" + strings.Join(names, "/")
+	}
+	for i := 0; i < len(comps); i++ {
+		comp := comps[i]
+		cur := stack[len(stack)-1]
+		last := i == len(comps)-1
+		if comp == ".." {
+			if len(stack) > 1 {
+				stack = stack[:len(stack)-1]
+				names = names[:len(names)-1]
+			}
+			continue
+		}
+		if len(comp) > MaxNameLen {
+			return Resolved{}, fmt.Errorf("%w: %q", ErrNameTooLong, comp)
+		}
+		if cur.Type != TypeDir {
+			return Resolved{}, fmt.Errorf("%w: %s", ErrNotDir, pathOf())
+		}
+		next := cur.kids[comp]
+		if next == nil {
+			if last {
+				return Resolved{
+					Parent: cur,
+					Name:   comp,
+					Path:   joinResolved(pathOf(), comp),
+				}, nil
+			}
+			return Resolved{}, fmt.Errorf("%w: %s", ErrNotExist, joinResolved(pathOf(), comp))
+		}
+		if next.Type == TypeSymlink && (!last || followLast) {
+			// Re-resolve with the link target spliced in; the recursive
+			// walk handles any ".." inside the target or the remainder.
+			rest := strings.Join(comps[i+1:], "/")
+			target := next.Target
+			if !strings.HasPrefix(target, "/") {
+				target = joinResolved(pathOf(), target)
+			}
+			if rest != "" {
+				target = target + "/" + rest
+			}
+			return fs.resolve(target, followLast, depth+1)
+		}
+		if last {
+			return Resolved{
+				Node:   next,
+				Parent: cur,
+				Name:   comp,
+				Path:   joinResolved(pathOf(), comp),
+			}, nil
+		}
+		stack = append(stack, next)
+		names = append(names, comp)
+	}
+	// The path named an already-walked directory (root, trailing "..", or
+	// trailing ".").
+	res := Resolved{Node: stack[len(stack)-1], Path: pathOf()}
+	if len(stack) > 1 {
+		res.Parent = stack[len(stack)-2]
+		res.Name = names[len(names)-1]
+	}
+	return res, nil
+}
+
+func joinResolved(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// Lookup resolves p (following the final symlink) and returns its inode.
+func (fs *FS) Lookup(cwd, p string) (*Inode, error) {
+	r, err := fs.Resolve(cwd, p, true)
+	if err != nil {
+		return nil, err
+	}
+	if r.Node == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, r.Path)
+	}
+	return r.Node, nil
+}
+
+// LookupNoFollow resolves p without following a final symlink.
+func (fs *FS) LookupNoFollow(cwd, p string) (*Inode, error) {
+	r, err := fs.Resolve(cwd, p, false)
+	if err != nil {
+		return nil, err
+	}
+	if r.Node == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, r.Path)
+	}
+	return r.Node, nil
+}
+
+// Create makes a regular file at p owned by uid/gid. If the path already
+// names a node and excl is true, ErrExist is returned; when excl is false
+// an existing regular file (or final symlink target) is truncated and
+// returned — faithfully reproducing the creat(2) semantics whose misuse the
+// lpr case study (paper Section 3.4) exploits.
+func (fs *FS) Create(cwd, p string, mode Mode, uid, gid int, excl bool) (*Inode, error) {
+	r, err := fs.Resolve(cwd, p, true)
+	if err != nil {
+		return nil, err
+	}
+	if r.Node != nil {
+		if excl {
+			return nil, fmt.Errorf("%w: %s", ErrExist, r.Path)
+		}
+		if r.Node.Type == TypeDir {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, r.Path)
+		}
+		r.Node.Data = nil
+		r.Node.Gen++
+		return r.Node, nil
+	}
+	if r.Parent == nil {
+		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
+	}
+	n := fs.newInode(TypeRegular, mode, uid, gid)
+	r.Parent.kids[r.Name] = n
+	r.Parent.Gen++
+	return n, nil
+}
+
+// Mkdir creates a directory at p.
+func (fs *FS) Mkdir(cwd, p string, mode Mode, uid, gid int) (*Inode, error) {
+	r, err := fs.Resolve(cwd, p, true)
+	if err != nil {
+		return nil, err
+	}
+	if r.Node != nil {
+		return nil, fmt.Errorf("%w: %s", ErrExist, r.Path)
+	}
+	if r.Parent == nil {
+		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
+	}
+	n := fs.newInode(TypeDir, mode, uid, gid)
+	r.Parent.kids[r.Name] = n
+	r.Parent.Gen++
+	return n, nil
+}
+
+// MkdirAll creates directory p and any missing parents, each with the given
+// mode and ownership. Existing directories are left untouched.
+func (fs *FS) MkdirAll(cwd, p string, mode Mode, uid, gid int) error {
+	abs := Canon(cwd, p)
+	comps := SplitPath(abs)
+	cur := "/"
+	for _, comp := range comps {
+		cur = joinResolved(cur, comp)
+		r, err := fs.Resolve("/", cur, true)
+		if err != nil {
+			return err
+		}
+		if r.Node != nil {
+			if r.Node.Type != TypeDir {
+				return fmt.Errorf("%w: %s", ErrNotDir, cur)
+			}
+			continue
+		}
+		if _, err := fs.Mkdir("/", cur, mode, uid, gid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Symlink creates a symbolic link at p pointing at target. The link itself
+// is created with mode 0777 as on most UNIX systems.
+func (fs *FS) Symlink(cwd, target, p string, uid, gid int) (*Inode, error) {
+	r, err := fs.Resolve(cwd, p, false)
+	if err != nil {
+		return nil, err
+	}
+	if r.Node != nil {
+		return nil, fmt.Errorf("%w: %s", ErrExist, r.Path)
+	}
+	if r.Parent == nil {
+		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
+	}
+	n := fs.newInode(TypeSymlink, 0o777, uid, gid)
+	n.Target = target
+	r.Parent.kids[r.Name] = n
+	r.Parent.Gen++
+	return n, nil
+}
+
+// Unlink removes the directory entry at p. It does not follow a final
+// symlink (removing the link, not its target). Directories are rejected;
+// use Rmdir.
+func (fs *FS) Unlink(cwd, p string) error {
+	r, err := fs.Resolve(cwd, p, false)
+	if err != nil {
+		return err
+	}
+	if r.Node == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, r.Path)
+	}
+	if r.Node.Type == TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, r.Path)
+	}
+	delete(r.Parent.kids, r.Name)
+	r.Parent.Gen++
+	r.Node.Nlink--
+	return nil
+}
+
+// Rmdir removes an empty directory at p.
+func (fs *FS) Rmdir(cwd, p string) error {
+	r, err := fs.Resolve(cwd, p, false)
+	if err != nil {
+		return err
+	}
+	if r.Node == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, r.Path)
+	}
+	if r.Node.Type != TypeDir {
+		return fmt.Errorf("%w: %s", ErrNotDir, r.Path)
+	}
+	if len(r.Node.kids) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, r.Path)
+	}
+	if r.Parent == nil {
+		return fmt.Errorf("%w: cannot remove root", ErrBusy)
+	}
+	delete(r.Parent.kids, r.Name)
+	r.Parent.Gen++
+	return nil
+}
+
+// Rename moves the entry at oldp to newp, replacing a non-directory target.
+// Final symlinks are not followed on either side, as with rename(2).
+func (fs *FS) Rename(cwd, oldp, newp string) error {
+	ro, err := fs.Resolve(cwd, oldp, false)
+	if err != nil {
+		return err
+	}
+	if ro.Node == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, ro.Path)
+	}
+	rn, err := fs.Resolve(cwd, newp, false)
+	if err != nil {
+		return err
+	}
+	if rn.Parent == nil {
+		return fmt.Errorf("%w: cannot rename to root", ErrInvalid)
+	}
+	if rn.Node != nil {
+		if rn.Node == ro.Node {
+			return nil
+		}
+		if rn.Node.Type == TypeDir {
+			if ro.Node.Type != TypeDir {
+				return fmt.Errorf("%w: %s", ErrIsDir, rn.Path)
+			}
+			if len(rn.Node.kids) > 0 {
+				return fmt.Errorf("%w: %s", ErrNotEmpty, rn.Path)
+			}
+		}
+	}
+	delete(ro.Parent.kids, ro.Name)
+	ro.Parent.Gen++
+	rn.Parent.kids[rn.Name] = ro.Node
+	rn.Parent.Gen++
+	return nil
+}
+
+// Link creates a hard link at newp to the inode named by oldp. Directories
+// may not be hard-linked.
+func (fs *FS) Link(cwd, oldp, newp string) error {
+	ro, err := fs.Resolve(cwd, oldp, true)
+	if err != nil {
+		return err
+	}
+	if ro.Node == nil {
+		return fmt.Errorf("%w: %s", ErrNotExist, ro.Path)
+	}
+	if ro.Node.Type == TypeDir {
+		return fmt.Errorf("%w: %s", ErrCrossLink, ro.Path)
+	}
+	rn, err := fs.Resolve(cwd, newp, false)
+	if err != nil {
+		return err
+	}
+	if rn.Node != nil {
+		return fmt.Errorf("%w: %s", ErrExist, rn.Path)
+	}
+	if rn.Parent == nil {
+		return fmt.Errorf("%w: cannot link at root", ErrInvalid)
+	}
+	rn.Parent.kids[rn.Name] = ro.Node
+	rn.Parent.Gen++
+	ro.Node.Nlink++
+	return nil
+}
+
+// RemoveAll removes the node at p and, for directories, everything under
+// it. Missing paths are not an error, matching os.RemoveAll. Final symlinks
+// are not followed. World-construction/perturbation helper: no permission
+// checks.
+func (fs *FS) RemoveAll(p string) error {
+	r, err := fs.Resolve("/", p, false)
+	if err != nil {
+		return err
+	}
+	if r.Node == nil {
+		return nil
+	}
+	if r.Parent == nil {
+		return fmt.Errorf("%w: cannot remove root", ErrBusy)
+	}
+	delete(r.Parent.kids, r.Name)
+	r.Parent.Gen++
+	return nil
+}
+
+// WriteFile replaces the content of the regular file at p, creating it with
+// the given mode/ownership if absent. It is a world-construction helper,
+// not a syscall: permission checks are deliberately absent.
+func (fs *FS) WriteFile(p string, data []byte, mode Mode, uid, gid int) error {
+	r, err := fs.Resolve("/", p, true)
+	if err != nil {
+		return err
+	}
+	if r.Node == nil {
+		n := fs.newInode(TypeRegular, mode, uid, gid)
+		n.Data = append([]byte(nil), data...)
+		r.Parent.kids[r.Name] = n
+		r.Parent.Gen++
+		return nil
+	}
+	if r.Node.Type != TypeRegular {
+		return fmt.Errorf("%w: %s", ErrInvalid, r.Path)
+	}
+	r.Node.Data = append([]byte(nil), data...)
+	r.Node.Gen++
+	return nil
+}
+
+// ReadFile returns a copy of the content of the regular file at p.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	n, err := fs.Lookup("/", p)
+	if err != nil {
+		return nil, err
+	}
+	if n.Type != TypeRegular {
+		return nil, fmt.Errorf("%w: %s", ErrInvalid, p)
+	}
+	return append([]byte(nil), n.Data...), nil
+}
+
+// Exists reports whether p resolves to an existing node (following final
+// symlinks).
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.Lookup("/", p)
+	return err == nil
+}
+
+// Walk visits every inode reachable from the root in depth-first order,
+// calling fn with each absolute resolved path and inode. Symlinks are
+// visited but not followed.
+func (fs *FS) Walk(fn func(p string, n *Inode)) {
+	var rec func(p string, n *Inode)
+	rec = func(p string, n *Inode) {
+		fn(p, n)
+		if n.Type != TypeDir {
+			return
+		}
+		for _, name := range n.Children() {
+			rec(joinResolved(p, name), n.kids[name])
+		}
+	}
+	rec("/", fs.root)
+}
+
+// Clone returns a deep copy of the filesystem. Hard-link sharing within the
+// tree is preserved: inodes reachable through multiple directory entries
+// are cloned once.
+func (fs *FS) Clone() *FS {
+	seen := make(map[*Inode]*Inode)
+	var rec func(n *Inode) *Inode
+	rec = func(n *Inode) *Inode {
+		if c, ok := seen[n]; ok {
+			return c
+		}
+		c := &Inode{
+			ID:     n.ID,
+			Type:   n.Type,
+			Mode:   n.Mode,
+			UID:    n.UID,
+			GID:    n.GID,
+			Target: n.Target,
+			Nlink:  n.Nlink,
+			Gen:    n.Gen,
+		}
+		seen[n] = c
+		if n.Data != nil {
+			c.Data = append([]byte(nil), n.Data...)
+		}
+		if n.kids != nil {
+			c.kids = make(map[string]*Inode, len(n.kids))
+			for name, kid := range n.kids {
+				c.kids[name] = rec(kid)
+			}
+		}
+		return c
+	}
+	return &FS{root: rec(fs.root), nextID: fs.nextID}
+}

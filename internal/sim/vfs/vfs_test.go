@@ -1,0 +1,587 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newTestFS(t *testing.T) *FS {
+	t.Helper()
+	fs := New()
+	mustMkdirAll := func(p string) {
+		t.Helper()
+		if err := fs.MkdirAll("/", p, 0o755, 0, 0); err != nil {
+			t.Fatalf("MkdirAll(%q): %v", p, err)
+		}
+	}
+	mustMkdirAll("/etc")
+	mustMkdirAll("/tmp")
+	mustMkdirAll("/home/alice")
+	mustMkdirAll("/home/bob")
+	mustMkdirAll("/var/spool/lpd")
+	if err := fs.WriteFile("/etc/passwd", []byte("root:x:0:0\nalice:x:100:100\n"), 0o644, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := fs.WriteFile("/etc/shadow", []byte("root:HASH:0\n"), 0o600, 0, 0); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return fs
+}
+
+func TestCanon(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		cwd, p, want string
+	}{
+		{"/", "etc/passwd", "/etc/passwd"},
+		{"/home/alice", "doc.txt", "/home/alice/doc.txt"},
+		{"/home/alice", "../bob/x", "/home/bob/x"},
+		{"/home/alice", "/abs", "/abs"},
+		{"/", "a/./b//c", "/a/b/c"},
+		{"/", "..", "/"},
+		{"/", "", "/"},
+		{"/a/b", "../../../..", "/"},
+		{"", "x", "/x"},
+	}
+	for _, tt := range tests {
+		if got := Canon(tt.cwd, tt.p); got != tt.want {
+			t.Errorf("Canon(%q, %q) = %q, want %q", tt.cwd, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		p    string
+		want []string
+	}{
+		{"/", nil},
+		{"", nil},
+		{"/a", []string{"a"}},
+		{"/a/b/c", []string{"a", "b", "c"}},
+	}
+	for _, tt := range tests {
+		got := SplitPath(tt.p)
+		if len(got) != len(tt.want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", tt.p, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("SplitPath(%q)[%d] = %q, want %q", tt.p, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	n, err := fs.Lookup("/", "/etc/passwd")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if n.Type != TypeRegular {
+		t.Errorf("type = %v, want regular", n.Type)
+	}
+	if !strings.Contains(string(n.Data), "alice") {
+		t.Errorf("content missing alice: %q", n.Data)
+	}
+	if _, err := fs.Lookup("/", "/etc/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing file: err = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Lookup("/", "/etc/passwd/sub"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("file-as-dir: err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestLookupRelative(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	n, err := fs.Lookup("/etc", "passwd")
+	if err != nil {
+		t.Fatalf("relative Lookup: %v", err)
+	}
+	if n.Type != TypeRegular {
+		t.Errorf("type = %v, want regular", n.Type)
+	}
+	if _, err := fs.Lookup("/home/alice", "../../etc/passwd"); err != nil {
+		t.Errorf("dotdot Lookup: %v", err)
+	}
+}
+
+func TestCreate(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	n, err := fs.Create("/", "/tmp/new.txt", 0o644, 100, 100, false)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if n.UID != 100 || n.GID != 100 {
+		t.Errorf("ownership = %d/%d, want 100/100", n.UID, n.GID)
+	}
+	// Non-exclusive create of an existing file truncates.
+	n.Data = []byte("old content")
+	n2, err := fs.Create("/", "/tmp/new.txt", 0o644, 0, 0, false)
+	if err != nil {
+		t.Fatalf("re-Create: %v", err)
+	}
+	if n2 != n {
+		t.Error("re-Create returned a different inode")
+	}
+	if len(n2.Data) != 0 {
+		t.Errorf("re-Create did not truncate: %q", n2.Data)
+	}
+	if n2.UID != 100 {
+		t.Errorf("re-Create changed ownership to %d", n2.UID)
+	}
+	// Exclusive create of an existing file fails.
+	if _, err := fs.Create("/", "/tmp/new.txt", 0o644, 0, 0, true); !errors.Is(err, ErrExist) {
+		t.Errorf("excl create: err = %v, want ErrExist", err)
+	}
+	// Create over a directory fails.
+	if _, err := fs.Create("/", "/tmp", 0o644, 0, 0, false); !errors.Is(err, ErrIsDir) {
+		t.Errorf("create over dir: err = %v, want ErrIsDir", err)
+	}
+	// Create in a missing directory fails.
+	if _, err := fs.Create("/", "/nodir/x", 0o644, 0, 0, false); !errors.Is(err, ErrNotExist) {
+		t.Errorf("create in missing dir: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestCreateFollowsFinalSymlink(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/etc/passwd", "/tmp/trap", 100, 100); err != nil {
+		t.Fatalf("Symlink: %v", err)
+	}
+	// creat() on a symlink truncates the *target* — the lpr flaw.
+	n, err := fs.Create("/", "/tmp/trap", 0o644, 0, 0, false)
+	if err != nil {
+		t.Fatalf("Create through symlink: %v", err)
+	}
+	passwd, err := fs.Lookup("/", "/etc/passwd")
+	if err != nil {
+		t.Fatalf("Lookup passwd: %v", err)
+	}
+	if n != passwd {
+		t.Error("create through symlink did not reach target inode")
+	}
+	if len(passwd.Data) != 0 {
+		t.Error("target was not truncated")
+	}
+}
+
+func TestMkdirAndMkdirAll(t *testing.T) {
+	t.Parallel()
+	fs := New()
+	if _, err := fs.Mkdir("/", "/a", 0o700, 5, 5); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if _, err := fs.Mkdir("/", "/a", 0o700, 5, 5); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate Mkdir: err = %v, want ErrExist", err)
+	}
+	if err := fs.MkdirAll("/", "/a/b/c/d", 0o755, 5, 5); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	n, err := fs.Lookup("/", "/a/b/c/d")
+	if err != nil || n.Type != TypeDir {
+		t.Fatalf("Lookup after MkdirAll: %v (%v)", err, n)
+	}
+	// MkdirAll over an existing file fails.
+	if err := fs.WriteFile("/a/f", nil, 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/", "/a/f/x", 0o755, 0, 0); err == nil {
+		t.Error("MkdirAll through a file succeeded")
+	}
+}
+
+func TestSymlinkResolution(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/etc", "/tmp/etclink", 0, 0); err != nil {
+		t.Fatalf("Symlink: %v", err)
+	}
+	n, err := fs.Lookup("/", "/tmp/etclink/passwd")
+	if err != nil {
+		t.Fatalf("Lookup through dir symlink: %v", err)
+	}
+	if n.Type != TypeRegular {
+		t.Errorf("type = %v", n.Type)
+	}
+	// Relative symlink target.
+	if _, err := fs.Symlink("/", "passwd", "/etc/pw", 0, 0); err != nil {
+		t.Fatalf("Symlink relative: %v", err)
+	}
+	if _, err := fs.Lookup("/", "/etc/pw"); err != nil {
+		t.Errorf("relative symlink: %v", err)
+	}
+	// NoFollow sees the link itself.
+	ln, err := fs.LookupNoFollow("/", "/etc/pw")
+	if err != nil {
+		t.Fatalf("LookupNoFollow: %v", err)
+	}
+	if ln.Type != TypeSymlink || ln.Target != "passwd" {
+		t.Errorf("link = %+v", ln)
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/tmp/b", "/tmp/a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Symlink("/", "/tmp/a", "/tmp/b", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/", "/tmp/a"); !errors.Is(err, ErrLoop) {
+		t.Errorf("loop: err = %v, want ErrLoop", err)
+	}
+	// Self-loop.
+	if _, err := fs.Symlink("/", "/tmp/self", "/tmp/self", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup("/", "/tmp/self"); !errors.Is(err, ErrLoop) {
+		t.Errorf("self loop: err = %v, want ErrLoop", err)
+	}
+}
+
+func TestResolvedPathIdentity(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if _, err := fs.Symlink("/", "/etc/passwd", "/tmp/link", 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Resolve("/", "/tmp/link", true)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if r.Path != "/etc/passwd" {
+		t.Errorf("resolved path = %q, want /etc/passwd — the oracle depends on post-symlink identity", r.Path)
+	}
+	rn, err := fs.Resolve("/", "/tmp/link", false)
+	if err != nil {
+		t.Fatalf("Resolve nofollow: %v", err)
+	}
+	if rn.Path != "/tmp/link" {
+		t.Errorf("nofollow path = %q, want /tmp/link", rn.Path)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Unlink("/", "/etc/passwd"); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if fs.Exists("/etc/passwd") {
+		t.Error("file still exists after Unlink")
+	}
+	if err := fs.Unlink("/", "/etc/passwd"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double unlink: err = %v, want ErrNotExist", err)
+	}
+	if err := fs.Unlink("/", "/etc"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("unlink dir: err = %v, want ErrIsDir", err)
+	}
+	// Unlinking a symlink removes the link, not the target.
+	if _, err := fs.Symlink("/", "/etc/shadow", "/tmp/sh", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/", "/tmp/sh"); err != nil {
+		t.Fatalf("unlink symlink: %v", err)
+	}
+	if !fs.Exists("/etc/shadow") {
+		t.Error("unlinking the symlink removed the target")
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Rmdir("/", "/home/alice"); err != nil {
+		t.Fatalf("Rmdir: %v", err)
+	}
+	if err := fs.Rmdir("/", "/home"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("non-empty rmdir: err = %v, want ErrNotEmpty", err)
+	}
+	if err := fs.Rmdir("/", "/etc/passwd"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("rmdir file: err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Rename("/", "/etc/passwd", "/tmp/pw"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fs.Exists("/etc/passwd") {
+		t.Error("source still exists")
+	}
+	if !fs.Exists("/tmp/pw") {
+		t.Error("destination missing")
+	}
+	// Replace an existing file.
+	if err := fs.WriteFile("/tmp/other", []byte("x"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/", "/tmp/pw", "/tmp/other"); err != nil {
+		t.Fatalf("replacing rename: %v", err)
+	}
+	data, err := fs.ReadFile("/tmp/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "alice") {
+		t.Errorf("rename did not move content: %q", data)
+	}
+	if err := fs.Rename("/", "/nope", "/tmp/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing: err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestLink(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Link("/", "/etc/passwd", "/tmp/pwlink"); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	a, _ := fs.Lookup("/", "/etc/passwd")
+	b, _ := fs.Lookup("/", "/tmp/pwlink")
+	if a != b {
+		t.Error("hard link inodes differ")
+	}
+	if a.Nlink != 2 {
+		t.Errorf("Nlink = %d, want 2", a.Nlink)
+	}
+	if err := fs.Link("/", "/etc", "/tmp/etclink"); !errors.Is(err, ErrCrossLink) {
+		t.Errorf("link dir: err = %v, want ErrCrossLink", err)
+	}
+	if err := fs.Unlink("/", "/tmp/pwlink"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Nlink != 1 {
+		t.Errorf("Nlink after unlink = %d, want 1", a.Nlink)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	long := strings.Repeat("a", MaxNameLen+1)
+	if _, err := fs.Lookup("/", "/tmp/"+long); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name: err = %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	var paths []string
+	fs.Walk(func(p string, n *Inode) { paths = append(paths, p) })
+	want := map[string]bool{"/": false, "/etc/passwd": false, "/home/alice": false, "/var/spool/lpd": false}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("Walk did not visit %s", p)
+		}
+	}
+	// Walk order is deterministic (children sorted).
+	var paths2 []string
+	fs.Walk(func(p string, n *Inode) { paths2 = append(paths2, p) })
+	if strings.Join(paths, "|") != strings.Join(paths2, "|") {
+		t.Error("Walk order is not deterministic")
+	}
+}
+
+func TestClone(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	if err := fs.Link("/", "/etc/passwd", "/tmp/hardlink"); err != nil {
+		t.Fatal(err)
+	}
+	clone := fs.Clone()
+	// Mutating the clone must not affect the original.
+	if err := clone.WriteFile("/etc/passwd", []byte("tampered"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := fs.ReadFile("/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) == "tampered" {
+		t.Error("clone shares data with original")
+	}
+	// Hard-link identity is preserved inside the clone.
+	a, _ := clone.Lookup("/", "/etc/passwd")
+	b, _ := clone.Lookup("/", "/tmp/hardlink")
+	if a != b {
+		t.Error("clone broke hard-link sharing")
+	}
+	if string(b.Data) != "tampered" {
+		t.Errorf("hard link content = %q", b.Data)
+	}
+}
+
+func TestGenBumpsOnMutation(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	n, err := fs.Lookup("/", "/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := n.Gen
+	if err := fs.WriteFile("/etc/passwd", []byte("new"), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Gen <= g {
+		t.Error("Gen did not advance on WriteFile")
+	}
+	dir, err := fs.Lookup("/", "/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := dir.Gen
+	if _, err := fs.Create("/", "/tmp/f", 0o644, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Gen <= dg {
+		t.Error("directory Gen did not advance on Create")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{0o755, "rwxr-xr-x"},
+		{0o644, "rw-r--r--"},
+		{0o4755, "rwsr-xr-x"},
+		{0o4644, "rwSr--r--"},
+		{0o2755, "rwxr-sr-x"},
+		{0o1777, "rwxrwxrwt"},
+		{0o1666, "rw-rw-rwT"},
+		{0, "---------"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Mode(%o).String() = %q, want %q", uint16(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestNodeTypeString(t *testing.T) {
+	t.Parallel()
+	if TypeRegular.String() != "regular" || TypeDir.String() != "directory" ||
+		TypeSymlink.String() != "symlink" {
+		t.Error("NodeType.String mismatch")
+	}
+	if !strings.Contains(NodeType(99).String(), "99") {
+		t.Error("unknown NodeType should include numeric value")
+	}
+}
+
+// Property: Canon always yields a cleaned absolute path.
+func TestCanonAlwaysAbsoluteClean(t *testing.T) {
+	t.Parallel()
+	f := func(cwd, p string) bool {
+		got := Canon("/"+sanitize(cwd), sanitize(p))
+		return strings.HasPrefix(got, "/") && !strings.Contains(got, "//") &&
+			(got == "/" || !strings.HasSuffix(got, "/"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after Create(p), Lookup(p) finds a regular file, for arbitrary
+// valid names.
+func TestCreateLookupRoundTrip(t *testing.T) {
+	t.Parallel()
+	fs := newTestFS(t)
+	f := func(raw string) bool {
+		name := sanitize(raw)
+		if name == "" || len(name) > MaxNameLen {
+			return true
+		}
+		p := "/tmp/" + name
+		if _, err := fs.Create("/", p, 0o644, 1, 1, false); err != nil {
+			return false
+		}
+		n, err := fs.Lookup("/", p)
+		return err == nil && n.Type == TypeRegular
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone is observationally equal to the original — every path
+// visited by Walk exists in the clone with the same type, mode, ownership
+// and content.
+func TestClonePreservesTree(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	fs := newTestFS(t)
+	// Grow a random tree.
+	dirs := []string{"/tmp"}
+	for i := 0; i < 60; i++ {
+		parent := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("n%d", i)
+		switch rng.Intn(3) {
+		case 0:
+			p := parent + "/" + name
+			if _, err := fs.Mkdir("/", p, Mode(rng.Intn(0o1000)), rng.Intn(3), rng.Intn(3)); err == nil {
+				dirs = append(dirs, p)
+			}
+		case 1:
+			data := make([]byte, rng.Intn(64))
+			rng.Read(data)
+			_ = fs.WriteFile(parent+"/"+name, data, Mode(rng.Intn(0o1000)), rng.Intn(3), rng.Intn(3))
+		case 2:
+			_, _ = fs.Symlink("/", "/etc/passwd", parent+"/"+name, 0, 0)
+		}
+	}
+	clone := fs.Clone()
+	fs.Walk(func(p string, n *Inode) {
+		r, err := clone.Resolve("/", p, false)
+		if err != nil || r.Node == nil {
+			t.Errorf("clone missing %s: %v", p, err)
+			return
+		}
+		c := r.Node
+		if c.Type != n.Type || c.Mode != n.Mode || c.UID != n.UID || c.GID != n.GID ||
+			c.Target != n.Target || string(c.Data) != string(n.Data) {
+			t.Errorf("clone differs at %s", p)
+		}
+	})
+}
+
+// sanitize maps an arbitrary string to a path-component-safe string.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '/' || r == 0 || r == '.' {
+			continue
+		}
+		if r < 0x20 || r > 0x7e {
+			b.WriteByte('x')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

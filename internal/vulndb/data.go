@@ -1,0 +1,316 @@
+package vulndb
+
+import "repro/internal/core/eai"
+
+// seed compactly describes one database entry before expansion.
+type seed struct {
+	program string
+	title   string
+	os      string
+	year    int
+	disp    Disposition
+	exp     Exploit
+}
+
+func expand(prefix string, start int, seeds []seed) []Entry {
+	out := make([]Entry, 0, len(seeds))
+	for i, s := range seeds {
+		out = append(out, Entry{
+			ID:          prefixID(prefix, start+i),
+			Title:       s.title,
+			Program:     s.program,
+			OS:          s.os,
+			Year:        s.year,
+			Disposition: s.disp,
+			Exploit:     s.exp,
+		})
+	}
+	return out
+}
+
+// Indirect faults via user input (Table 2: 51 entries).
+var seedsUserInput = []seed{
+	{program: "lpr", title: "overlong -C class argument overruns copy buffer", os: "BSD", year: 1991, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "lpd", title: "control-file name with embedded shell metacharacters reaches popen", os: "BSD", year: 1992, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "login", title: "overlong LOGIN name overflows utmp record buffer", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "passwd", title: "gecos field with colon injects extra passwd fields", os: "Linux", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "chfn", title: "overlong full-name entry overruns fixed gecos buffer", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "chsh", title: "shell path argument with newline splits passwd record", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "at", title: "job time argument overflow in date parser", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "crontab", title: "crontab entry with overlong command overruns line buffer", os: "HP-UX", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "mount", title: "overlong device path argument overruns mtab buffer", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "umount", title: "relative mount point argument resolves outside fstab entry", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "eject", title: "overlong device name argument overflows parser", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "fdformat", title: "device argument overflow in volume manager path", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ps", title: "overlong -U user list overruns selection buffer", os: "Digital UNIX", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ordist", title: "overlong hostname argument overflows distribution buffer", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "rdist", title: "overlong target path argument smashes stack frame", os: "BSD", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "talkd", title: "crafted invitee name misparsed into response address", os: "BSD", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "uux", title: "command string with backquotes evaluated on remote side", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "sendmail", title: "-d debug level argument indexes outside trace vector", os: "SunOS", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "sendmail", title: "overlong sender address in SMTP MAIL FROM smashes buffer", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "mailx", title: "tilde escape in message body reaches shell while set-gid", os: "SVR4", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "elm", title: "overlong TO header element overruns alias buffer", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "pine", title: "crafted From header overflows index display line", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "xterm", title: "overlong -fn font argument overflows resource buffer", os: "X11", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "xlock", title: "overlong -mode argument overruns option table copy", os: "X11", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "screen", title: "overlong terminal title sequence overflows status buffer", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "write", title: "recipient name with control characters reaches tty unfiltered", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "wall", title: "message body with terminal escapes replayed to all ttys", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "su", title: "overlong username argument overflows pam conversation buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ping", title: "oversized -s packet size argument wraps length computation", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "traceroute", title: "overlong hostname argument overflows resolver buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "rcp", title: "remote file name with leading dash parsed as option", os: "BSD", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "rsh", title: "overlong remote command line overruns request buffer", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ftp", title: "crafted macro definition in .netrc replayed into command stream", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "restore", title: "overlong tape label argument overflows media buffer", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ufsrestore", title: "interactive mode path argument overflows extraction buffer", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "expreserve", title: "overlong file name argument overruns recovery path buffer", os: "SunOS", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "ex", title: "preserve-file name argument overflows notification buffer", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "vi", title: "overlong tag argument overruns tag-search buffer", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "more", title: "overlong file name argument overflows prompt line", os: "HP-UX", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "man", title: "section argument with ../ escapes formatted-page cache", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "lprm", title: "job id list argument overflows queue-scan buffer", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "dtappgather", title: "DISPLAY-derived argument with ../ relocates staging files", os: "CDE", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "admintool", title: "overlong package name argument overruns catalog buffer", os: "Solaris", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "sdtcm_convert", title: "calendar name argument overflow during conversion", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "newgrp", title: "overlong group name argument overflows group lookup buffer", os: "AIX", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "passwd -f", title: "finger-information argument embeds newline into passwd", os: "AIX", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "host", title: "overlong query name argument overflows answer buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "cu", title: "overlong telephone-number argument overruns dial buffer", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "uustat", title: "overlong job id argument overflows status buffer", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "arp", title: "overlong hostname argument overflows table-entry buffer", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+	{program: "quota", title: "overlong filesystem argument overruns report buffer", os: "HP-UX", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanArgv, CodeDefect: "missing input validation"}},
+}
+
+// Indirect faults via environment variables (Table 2: 17 entries).
+var seedsEnvVar = []seed{
+	{program: "sh", title: "IFS set to slash splits privileged command paths into attacker words", os: "SVR4", year: 1991, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "loadmodule", title: "IFS inherited by system() resolves /bin/ld as attacker program", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "rdist", title: "PATH searched for sendmail picks attacker binary first", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "mail.local", title: "PATH without absolute delivery agent resolves attacker mailer", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "xterm", title: "overlong TERMCAP entry overflows capability buffer", os: "X11", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "telnetd", title: "LD_LIBRARY_PATH passed through to login links attacker library", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "rlogin", title: "TERM environment value overflows terminal-type buffer", os: "AIX", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "libc", title: "overlong TZ value overflows timezone parsing buffer", os: "Solaris", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "login", title: "overlong LANG value overflows locale buffer", os: "Digital UNIX", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "sendmail", title: "HOME used to locate .forward follows attacker redefinition", os: "BSD", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "vi", title: "EXINIT commands executed on startup while set-uid", os: "SVR4", year: 1992, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "ksh", title: "ENV script evaluated before privilege drop", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "elm", title: "overlong MAIL value overflows mailbox path buffer", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "cron", title: "CRONPATH-style PATH inherited into jobs resolves attacker binaries", os: "HP-UX", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "lp", title: "SPOOLDIR environment value relocates privileged spool writes", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "perl suidperl", title: "PERLLIB searched for modules under set-uid execution", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+	{program: "dtterm", title: "overlong XUSERFILESEARCHPATH overflows resource lookup buffer", os: "CDE", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanEnvVar, CodeDefect: "trusts inherited environment"}},
+}
+
+// Indirect faults via file system input (Table 2: 5 entries).
+var seedsFileInput = []seed{
+	{program: "ftpd", title: "crafted .netrc-style config line overflows macro buffer on parse", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanFileContent, CodeDefect: "trusts file content"}},
+	{program: "inn", title: "overlong line in control message file overruns header buffer", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanFileContent, CodeDefect: "trusts file content"}},
+	{program: "syslogd", title: "crafted line in configuration file overflows action table", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Input: ChanFileContent, CodeDefect: "trusts file content"}},
+	{program: "automountd", title: "map file entry with metacharacters reaches mount shell", os: "Solaris", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanFileContent, CodeDefect: "trusts file content"}},
+	{program: "magic", title: "crafted magic database entry overflows file(1) result buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanFileContent, CodeDefect: "trusts file content"}},
+}
+
+// Indirect faults via network input (Table 2: 8 entries).
+var seedsNetInput = []seed{
+	{program: "fingerd", title: "overlong network query gets(3) past request buffer", os: "BSD", year: 1988, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "named", title: "inverse-query response with oversized record smashes cache buffer", os: "BIND", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "statd", title: "unbounded RPC string argument overruns notify list buffer", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "imapd", title: "overlong LOGIN literal overflows command buffer pre-auth", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "popd", title: "overlong PASS argument overflows authentication buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "talkd", title: "crafted announcement packet hostname overflows reply buffer", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "nntpd", title: "overlong GROUP argument overruns active-file scan buffer", os: "BSD", year: 1996, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+	{program: "bootpd", title: "oversized boot file field in request overflows reply assembly", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Input: ChanNetworkPacket, CodeDefect: "missing length validation"}},
+}
+
+// Direct file-system faults: existence (Table 4: 20 entries).
+var seedsFSExistence = []seed{
+	{program: "lpr", title: "spool control file pre-created by attacker is truncated and reused", os: "BSD", year: 1991, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "tmpfile libc", title: "predictable /tmp name pre-created before privileged open", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "vi", title: "recovery file in /tmp pre-created by attacker captures edits", os: "SunOS", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "sendmail", title: "dead.letter pre-created in /var/tmp receives privileged append", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "at", title: "job file pre-created in spool adopted as attacker job", os: "Solaris", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "sort", title: "temporary merge file pre-created in /tmp is overwritten privileged", os: "SVR4", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "mktemp-users", title: "race between existence check and create in shared tmp", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "rdist", title: "pre-created target temp file keeps attacker hard link", os: "BSD", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "gcc", title: "predictable .i temp file pre-created to capture source", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "x11 startup", title: "pre-created .X11-unix socket directory adopted with attacker modes", os: "X11", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "uucico", title: "pre-created lock file accepted, spool entry clobbered", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "sccs", title: "pre-created p-file accepted as valid edit lock", os: "SVR4", year: 1992, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "emacs", title: "pre-created lock symlink target overwritten on save", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "ftpd", title: "upload temp name predictable and pre-creatable", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "netscape", title: "predictable download temp file pre-created in /tmp", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "patch", title: "backup temp file pre-created to redirect original contents", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "dbx", title: "core-file scratch name pre-created in working directory", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "cron", title: "pre-created output spool file receives privileged job output", os: "HP-UX", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "ps_data cache", title: "pre-created /tmp/ps_data adopted with attacker contents", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+	{program: "pt_chmod", title: "pre-created pty node accepted during grantpt window", os: "SVR4", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrExistence, CodeDefect: "assumes object absent"}},
+}
+
+// Direct file-system faults: symbolic link (Table 4: 6 entries).
+var seedsFSSymlink = []seed{
+	{program: "lpd", title: "spool file symlinked to /etc/passwd before privileged write", os: "BSD", year: 1992, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+	{program: "rdist", title: "temp file symlink redirects privileged write to any file", os: "BSD", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+	{program: "sendmail", title: "symlinked dead.letter appends message to protected file", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+	{program: "xfree86 startup", title: "symlinked server log redirects privileged append", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+	{program: "tin", title: "symlinked lock file in /tmp truncates arbitrary file", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+	{program: "sdtcm_convert", title: "symlinked calendar backup follows to system file", os: "Solaris", year: 1997, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrSymlink, CodeDefect: "follows planted link"}},
+}
+
+// Direct file-system faults: permission (Table 4: 6 entries).
+var seedsFSPermission = []seed{
+	{program: "mkdir race", title: "directory created then chmod leaves open window at mode 777", os: "SVR4", year: 1992, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+	{program: "admintool", title: "lock file created world-writable allows catalog rewrite", os: "Solaris", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+	{program: "crontab", title: "spool entry briefly world-readable exposes commands", os: "HP-UX", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+	{program: "xdm", title: "authority file created group-readable leaks magic cookie", os: "X11", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+	{program: "smtpd", title: "queue file mode follows inherited permissive umask", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+	{program: "uucp", title: "spool directory permission change accepted mid-transfer", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrPermission, CodeDefect: "assumes permissions stable"}},
+}
+
+// Direct file-system faults: ownership (Table 4: 3 entries).
+var seedsFSOwnership = []seed{
+	{program: "rcp server", title: "received file ownership trusted from peer metadata", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrOwnership, CodeDefect: "assumes ownership stable"}},
+	{program: "restore", title: "restored tree ownership applied before path validation", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrOwnership, CodeDefect: "assumes ownership stable"}},
+	{program: "ftpd chown window", title: "upload chown applied after attacker re-link", os: "SunOS", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrOwnership, CodeDefect: "assumes ownership stable"}},
+}
+
+// Direct file-system faults: file invariance (Table 4: 6 entries).
+var seedsFSInvariance = []seed{
+	{program: "passwd -F", title: "password file swapped between consistency check and rewrite", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+	{program: "xterm logging", title: "log target file replaced between access check and open", os: "X11", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+	{program: "binmail", title: "mailbox file replaced between stat and delivery append", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+	{program: "suidscript", title: "interpreter script rewritten between exec check and read", os: "SVR4", year: 1991, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+	{program: "rdist -b", title: "compared file substituted between verify and install", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+	{program: "at -r", title: "queued job file swapped between validation and removal", os: "Solaris", year: 1996, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrContentInvariance, CodeDefect: "TOCTTOU window"}},
+}
+
+// Direct file-system faults: working directory (Table 4: 1 entry).
+var seedsFSWorkdir = []seed{
+	{program: "uucp daemons", title: "privileged unpack runs in attacker-controlled working directory", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{Entity: eai.EntityFileSystem, Attr: eai.AttrWorkingDirectory, CodeDefect: "assumes launch directory"}},
+}
+
+// Direct network faults (Table 3: 5 entries).
+var seedsNetDirect = []seed{
+	{program: "rshd", title: "address-based trust accepts forged source as authentic peer", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityNetwork, Attr: eai.AttrMsgAuthenticity, CodeDefect: "trusts network entity"}},
+	{program: "nfsd", title: "file handles honoured from unauthenticated forged packets", os: "SunOS", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityNetwork, Attr: eai.AttrMsgAuthenticity, CodeDefect: "trusts network entity"}},
+	{program: "X server", title: "open display socket shared with untrusted local peer", os: "X11", year: 1994, disp: Classifiable, exp: Exploit{Entity: eai.EntityNetwork, Attr: eai.AttrSocketShare, CodeDefect: "trusts network entity"}},
+	{program: "ypserv", title: "map transfer accepted from untrusted replacement server", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityNetwork, Attr: eai.AttrTrustability, CodeDefect: "trusts network entity"}},
+	{program: "syslogd", title: "service flooded unavailable so security events are dropped", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{Entity: eai.EntityNetwork, Attr: eai.AttrServiceAvail, CodeDefect: "trusts network entity"}},
+}
+
+// Direct process faults (Table 3: 1 entry).
+var seedsProcDirect = []seed{
+	{program: "dtspcd", title: "spawn request accepted from untrusted local process", os: "CDE", year: 1997, disp: Classifiable, exp: Exploit{Entity: eai.EntityProcess, Attr: eai.AttrTrustability, CodeDefect: "trusts peer process"}},
+}
+
+// Environment-independent software faults (Table 1 others: 13 entries).
+var seedsOthers = []seed{
+	{program: "fsck", title: "wrong sense in superblock sanity comparison skips repair path", os: "SVR4", year: 1992, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "login", title: "uninitialised failure counter grants retry after lockout", os: "AIX", year: 1994, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "rlogind", title: "missing argument validation order check in option loop", os: "BSD", year: 1994, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "kernel setuid", title: "signed comparison typo in uid range check", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "libcrypt", title: "transposed rounds constant weakens hash iterations", os: "SVR4", year: 1993, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "telnetd", title: "flag variable reused before reset between sessions", os: "SunOS", year: 1995, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "accton", title: "return value of setuid call not checked before exec", os: "BSD", year: 1995, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "inetd", title: "descriptor leak across service spawn exposes control socket", os: "BSD", year: 1996, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "cron", title: "day-of-week table off-by-one runs jobs with stale privilege", os: "HP-UX", year: 1995, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "mount kernel", title: "missing error path unwind leaves superblock half-registered", os: "Linux", year: 1996, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "ld.so", title: "cache index typo loads wrong library slot", os: "Linux", year: 1997, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "getty", title: "speed table overrun from miscounted entries", os: "SVR4", year: 1992, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+	{program: "swapper", title: "missing bounds reset on retry loop corrupts accounting", os: "Digital UNIX", year: 1996, disp: Classifiable, exp: Exploit{CodeDefect: "coding error"}},
+}
+
+// Entries lacking information for classification (26).
+var seedsInsufficient = []seed{
+	{program: "unknown-01", title: "report lacks reproduction detail for classification", os: "misc", year: 1993, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-02", title: "report lacks reproduction detail for classification", os: "misc", year: 1994, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-03", title: "report lacks reproduction detail for classification", os: "misc", year: 1995, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-04", title: "report lacks reproduction detail for classification", os: "misc", year: 1996, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-05", title: "report lacks reproduction detail for classification", os: "misc", year: 1997, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-06", title: "report lacks reproduction detail for classification", os: "misc", year: 1992, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-07", title: "report lacks reproduction detail for classification", os: "misc", year: 1993, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-08", title: "report lacks reproduction detail for classification", os: "misc", year: 1994, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-09", title: "report lacks reproduction detail for classification", os: "misc", year: 1995, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-10", title: "report lacks reproduction detail for classification", os: "misc", year: 1996, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-11", title: "report lacks reproduction detail for classification", os: "misc", year: 1997, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-12", title: "report lacks reproduction detail for classification", os: "misc", year: 1992, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-13", title: "report lacks reproduction detail for classification", os: "misc", year: 1993, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-14", title: "report lacks reproduction detail for classification", os: "misc", year: 1994, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-15", title: "report lacks reproduction detail for classification", os: "misc", year: 1995, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-16", title: "report lacks reproduction detail for classification", os: "misc", year: 1996, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-17", title: "report lacks reproduction detail for classification", os: "misc", year: 1997, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-18", title: "report lacks reproduction detail for classification", os: "misc", year: 1992, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-19", title: "report lacks reproduction detail for classification", os: "misc", year: 1993, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-20", title: "report lacks reproduction detail for classification", os: "misc", year: 1994, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-21", title: "report lacks reproduction detail for classification", os: "misc", year: 1995, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-22", title: "report lacks reproduction detail for classification", os: "misc", year: 1996, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-23", title: "report lacks reproduction detail for classification", os: "misc", year: 1997, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-24", title: "report lacks reproduction detail for classification", os: "misc", year: 1992, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-25", title: "report lacks reproduction detail for classification", os: "misc", year: 1993, disp: InsufficientInfo, exp: Exploit{}},
+	{program: "unknown-26", title: "report lacks reproduction detail for classification", os: "misc", year: 1994, disp: InsufficientInfo, exp: Exploit{}},
+}
+
+// Design errors, excluded from classification (22).
+var seedsDesign = []seed{
+	{program: "TCP", title: "initial sequence numbers predictable enabling connection spoofing", os: "protocol", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "rlogin protocol", title: "trust model delegates authentication to client host", os: "protocol", year: 1994, disp: DesignError, exp: Exploit{}},
+	{program: "NIS", title: "map access unauthenticated by design", os: "SunOS", year: 1994, disp: DesignError, exp: Exploit{}},
+	{program: "NFS v2", title: "stateless handles outlive permission revocation", os: "protocol", year: 1994, disp: DesignError, exp: Exploit{}},
+	{program: "X11 auth", title: "host-based access control grants whole display", os: "X11", year: 1993, disp: DesignError, exp: Exploit{}},
+	{program: "SMTP", title: "sender identity unauthenticated by design", os: "protocol", year: 1993, disp: DesignError, exp: Exploit{}},
+	{program: "DNS", title: "responses unauthenticated permitting cache poisoning", os: "protocol", year: 1996, disp: DesignError, exp: Exploit{}},
+	{program: "ICMP", title: "redirect messages honoured without authentication", os: "protocol", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "ARP", title: "replies unauthenticated allowing address takeover", os: "protocol", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "UUCP", title: "command whitelist policy delegated to remote site", os: "SVR4", year: 1992, disp: DesignError, exp: Exploit{}},
+	{program: "finger", title: "information disclosure inherent to service design", os: "BSD", year: 1990, disp: DesignError, exp: Exploit{}},
+	{program: "rexd", title: "remote execution service trusts client-supplied uid", os: "SunOS", year: 1992, disp: DesignError, exp: Exploit{}},
+	{program: "tftp", title: "unauthenticated file service by specification", os: "protocol", year: 1991, disp: DesignError, exp: Exploit{}},
+	{program: "SNMPv1", title: "community string authentication trivially replayable", os: "protocol", year: 1996, disp: DesignError, exp: Exploit{}},
+	{program: "rwhod", title: "broadcast status accepted without authentication", os: "BSD", year: 1993, disp: DesignError, exp: Exploit{}},
+	{program: "portmapper", title: "proxy forwarding launders request origin", os: "SunOS", year: 1994, disp: DesignError, exp: Exploit{}},
+	{program: "XDMCP", title: "session negotiation unauthenticated", os: "X11", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "syslog protocol", title: "UDP events accepted from any source by design", os: "protocol", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "PPP auth", title: "PAP transmits reusable cleartext secret", os: "protocol", year: 1996, disp: DesignError, exp: Exploit{}},
+	{program: "IP source route", title: "loose source routing honoured end to end", os: "protocol", year: 1995, disp: DesignError, exp: Exploit{}},
+	{program: "telnet", title: "credentials cross network in cleartext by design", os: "protocol", year: 1990, disp: DesignError, exp: Exploit{}},
+	{program: "NTP", title: "unauthenticated time updates shift security clocks", os: "protocol", year: 1996, disp: DesignError, exp: Exploit{}},
+}
+
+// Configuration errors, excluded from classification (5).
+var seedsConfig = []seed{
+	{program: "sendmail.cf", title: "decode alias delivered to program by shipped configuration", os: "BSD", year: 1993, disp: ConfigError, exp: Exploit{}},
+	{program: "ftpd", title: "anonymous ftp root shipped writable", os: "SunOS", year: 1994, disp: ConfigError, exp: Exploit{}},
+	{program: "NT registry", title: "security-relevant keys shipped writable by Everyone", os: "Windows NT", year: 1998, disp: ConfigError, exp: Exploit{}},
+	{program: "hosts.equiv", title: "wildcard plus entry shipped in default trust file", os: "SunOS", year: 1993, disp: ConfigError, exp: Exploit{}},
+	{program: "web server", title: "cgi-bin shipped with example scripts enabled", os: "Linux", year: 1997, disp: ConfigError, exp: Exploit{}},
+}
+
+// prefixID renders "VDB-UI-007"-style identifiers.
+func prefixID(prefix string, n int) string {
+	d := []byte{'0' + byte(n/100%10), '0' + byte(n/10%10), '0' + byte(n%10)}
+	return "VDB-" + prefix + "-" + string(d)
+}
+
+// allEntries assembles the full 195-entry database in stable order.
+func allEntries() []Entry {
+	var out []Entry
+	out = append(out, expand("UI", 1, seedsUserInput)...)
+	out = append(out, expand("EV", 1, seedsEnvVar)...)
+	out = append(out, expand("FI", 1, seedsFileInput)...)
+	out = append(out, expand("NI", 1, seedsNetInput)...)
+	out = append(out, expand("FE", 1, seedsFSExistence)...)
+	out = append(out, expand("FS", 1, seedsFSSymlink)...)
+	out = append(out, expand("FP", 1, seedsFSPermission)...)
+	out = append(out, expand("FO", 1, seedsFSOwnership)...)
+	out = append(out, expand("FV", 1, seedsFSInvariance)...)
+	out = append(out, expand("FW", 1, seedsFSWorkdir)...)
+	out = append(out, expand("ND", 1, seedsNetDirect)...)
+	out = append(out, expand("PD", 1, seedsProcDirect)...)
+	out = append(out, expand("OT", 1, seedsOthers)...)
+	out = append(out, expand("XI", 1, seedsInsufficient)...)
+	out = append(out, expand("XD", 1, seedsDesign)...)
+	out = append(out, expand("XC", 1, seedsConfig)...)
+	return out
+}

@@ -1,0 +1,70 @@
+package vulndb
+
+import (
+	"repro/internal/core/eai"
+	"repro/internal/core/report"
+)
+
+// Table1 builds the paper's Table 1: the high-level classification of the
+// 142 classifiable flaws (81 indirect / 48 direct / 13 others).
+func Table1(s Stats) report.CountTable {
+	return report.CountTable{
+		Title:      "Table 1: high-level classification",
+		Categories: []string{"indirect-environment-fault", "direct-environment-fault", "others"},
+		Counts: map[string]int{
+			"indirect-environment-fault": s.Indirect,
+			"direct-environment-fault":   s.Direct,
+			"others":                     s.Others,
+		},
+	}
+}
+
+// Table2 builds Table 2: indirect faults by input origin.
+func Table2(s Stats) report.CountTable {
+	return report.CountTable{
+		Title: "Table 2: indirect environment faults that cause security violations",
+		Categories: []string{
+			"user-input", "environment-variable", "file-system-input",
+			"network-input", "process-input",
+		},
+		Counts: map[string]int{
+			"user-input":           s.IndirectByOrigin[eai.OriginUserInput],
+			"environment-variable": s.IndirectByOrigin[eai.OriginEnvVar],
+			"file-system-input":    s.IndirectByOrigin[eai.OriginFileInput],
+			"network-input":        s.IndirectByOrigin[eai.OriginNetworkInput],
+			"process-input":        s.IndirectByOrigin[eai.OriginProcessInput],
+		},
+	}
+}
+
+// Table3 builds Table 3: direct faults by environment entity.
+func Table3(s Stats) report.CountTable {
+	return report.CountTable{
+		Title:      "Table 3: direct environment faults that cause security violations",
+		Categories: []string{"file-system", "network", "process"},
+		Counts: map[string]int{
+			"file-system": s.DirectByEntity[eai.EntityFileSystem],
+			"network":     s.DirectByEntity[eai.EntityNetwork],
+			"process":     s.DirectByEntity[eai.EntityProcess],
+		},
+	}
+}
+
+// Table4 builds Table 4: direct file-system faults by perturbed attribute.
+func Table4(s Stats) report.CountTable {
+	return report.CountTable{
+		Title: "Table 4: file system environment faults",
+		Categories: []string{
+			"file-existence", "symbolic-link", "permission", "ownership",
+			"file-invariance", "working-directory",
+		},
+		Counts: map[string]int{
+			"file-existence":    s.FSByAttr[eai.AttrExistence],
+			"symbolic-link":     s.FSByAttr[eai.AttrSymlink],
+			"permission":        s.FSByAttr[eai.AttrPermission],
+			"ownership":         s.FSByAttr[eai.AttrOwnership],
+			"file-invariance":   s.FSByAttr[eai.AttrContentInvariance],
+			"working-directory": s.FSByAttr[eai.AttrWorkingDirectory],
+		},
+	}
+}
