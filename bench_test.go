@@ -10,8 +10,10 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/apps/ftpget"
 	"repro/internal/apps/lpr"
 	"repro/internal/apps/maildrop"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/core/inject"
 	"repro/internal/core/policy"
 	"repro/internal/core/report"
+	"repro/internal/core/sched"
 	"repro/internal/interpose"
 	"repro/internal/sim/proc"
 	"repro/internal/vulndb"
@@ -453,6 +456,45 @@ func BenchmarkAblationFixedVariants(b *testing.B) {
 		b.Fatalf("a fixed variant has fault coverage %.3f < 1.0", minFC)
 	}
 	b.ReportMetric(minFC, "min_fault_coverage")
+}
+
+// --- Suite scheduling (internal/core/sched) ---
+
+// suiteViolations totals the violations across a suite run, the
+// invariant both suite benchmarks must agree on.
+func suiteViolations(b *testing.B, sr *sched.SuiteResult) int {
+	b.Helper()
+	if failed := sr.Failed(); len(failed) != 0 {
+		b.Fatalf("suite campaigns failed: %v", failed)
+	}
+	total := 0
+	for _, c := range sr.Campaigns {
+		total += c.Result.Metric().Violations()
+	}
+	return total
+}
+
+// BenchmarkSuiteSequential is the baseline: the whole catalog on one
+// worker, equivalent to looping inject.Run over every campaign.
+func BenchmarkSuiteSequential(b *testing.B) {
+	jobs := apps.SuiteJobs()
+	var violations int
+	for i := 0; i < b.N; i++ {
+		violations = suiteViolations(b, sched.RunSuite(jobs, sched.SuiteOptions{Workers: 1}))
+	}
+	b.ReportMetric(float64(violations), "violations")
+}
+
+// BenchmarkSuiteParallel runs the same catalog across all CPUs; the
+// speedup over BenchmarkSuiteSequential is the scheduler's win.
+func BenchmarkSuiteParallel(b *testing.B) {
+	jobs := apps.SuiteJobs()
+	var violations int
+	for i := 0; i < b.N; i++ {
+		violations = suiteViolations(b, sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0)}))
+	}
+	b.ReportMetric(float64(violations), "violations")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkInterpositionOverhead measures the cost the bus adds per

@@ -1,11 +1,15 @@
 // Command eptest runs an environment-perturbation fault-injection campaign
 // against a named target application and prints the campaign report: the
 // injection list, the violations, and the two-dimensional adequacy metric.
+// With -all it schedules every catalog campaign (vulnerable and fixed
+// variants) as one suite across a worker pool and prints the summary
+// table plus the clustered violation findings.
 //
 // Usage:
 //
 //	eptest -list
-//	eptest -campaign turnin [-fixed] [-per-point] [-v]
+//	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
+//	eptest -all [-j N] [-v]
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core/inject"
 	"repro/internal/core/report"
+	"repro/internal/core/sched"
 )
 
 func main() {
@@ -29,9 +34,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		list     = fs.Bool("list", false, "list available campaigns")
 		campaign = fs.String("campaign", "", "campaign to run (see -list)")
+		all      = fs.Bool("all", false, "run every catalog campaign, both variants, as one suite")
+		workers  = fs.Int("j", 1, "concurrent injection runs (0 = all CPUs)")
 		fixed    = fs.Bool("fixed", false, "run against the repaired program variant")
 		perPoint = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
-		verbose  = fs.Bool("v", false, "print every injection, not only violations")
+		verbose  = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,8 +51,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *all {
+		return runSuite(*workers, *verbose, stdout)
+	}
 	if *campaign == "" {
-		fmt.Fprintln(stderr, "eptest: -campaign required (or -list)")
+		fmt.Fprintln(stderr, "eptest: -campaign required (or -list / -all)")
 		fs.Usage()
 		return 2
 	}
@@ -59,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *fixed {
 		c = spec.Fixed()
 	}
-	res, err := inject.Run(c)
+	res, err := runCampaign(c, *workers)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: campaign failed: %v\n", err)
 		return 1
@@ -80,6 +90,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if res.Metric().Violations() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCampaign dispatches one campaign to the sequential engine or, for
+// -j other than 1, the worker-pool scheduler. Both produce identical
+// results; the split keeps -j 1 on the engine the paper describes.
+func runCampaign(c inject.Campaign, workers int) (*inject.Result, error) {
+	if workers == 1 {
+		return inject.Run(c)
+	}
+	return sched.RunCampaign(c, sched.Config{Workers: workers})
+}
+
+// runSuite schedules the full catalog, both variants, and prints the
+// summary table and clustered findings. The exit code reflects
+// scheduling health (a campaign that fails to plan), not violations:
+// the suite intentionally includes vulnerable variants, so findings
+// are the expected output, not an error.
+func runSuite(workers int, verbose bool, stdout io.Writer) int {
+	jobs := apps.SuiteJobs()
+	opt := sched.SuiteOptions{Workers: workers}
+	if verbose {
+		opt.OnEvent = func(ev sched.Event) {
+			switch ev.Kind {
+			case sched.EventPlanned:
+				fmt.Fprintf(stdout, "[%s] planned %d injection runs\n", ev.Job.Label(), ev.Total)
+			case sched.EventDone:
+				if ev.Err != nil {
+					fmt.Fprintf(stdout, "[%s] FAILED: %v\n", ev.Job.Label(), ev.Err)
+				} else {
+					fmt.Fprintf(stdout, "[%s] done (%d/%d)\n", ev.Job.Label(), ev.Done, ev.Total)
+				}
+			}
+		}
+	}
+	sr := sched.RunSuite(jobs, opt)
+	fmt.Fprint(stdout, report.SuiteRun(sr))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
+	if len(sr.Failed()) > 0 {
 		return 1
 	}
 	return 0

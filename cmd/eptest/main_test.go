@@ -80,6 +80,52 @@ func TestFixedCampaignExitsZero(t *testing.T) {
 	}
 }
 
+func TestParallelCampaignOutputMatchesSequential(t *testing.T) {
+	t.Parallel()
+	var seq, par, errb bytes.Buffer
+	if code := run([]string{"-campaign", "turnin", "-per-point", "-v"}, &seq, &errb); code != 1 {
+		t.Fatalf("sequential exit = %d, stderr = %s", code, errb.String())
+	}
+	if code := run([]string{"-campaign", "turnin", "-per-point", "-v", "-j", "8"}, &par, &errb); code != 1 {
+		t.Fatalf("parallel exit = %d, stderr = %s", code, errb.String())
+	}
+	if seq.String() != par.String() {
+		t.Errorf("-j 8 output differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestAllRunsSuiteWithClusters(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-all", "-j", "8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"turnin/vulnerable", "turnin/fixed", "lpr/vulnerable",
+		"clustered findings:", "finding(s)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+	if strings.Contains(out.String(), "FAILED") {
+		t.Errorf("suite reported failures:\n%s", out.String())
+	}
+}
+
+func TestAllVerboseStreamsProgress(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-all", "-j", "4", "-v"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, want := range []string{"planned", "injection runs", "done ("} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose suite output missing %q", want)
+		}
+	}
+}
+
 func TestTurninCampaignNumbers(t *testing.T) {
 	t.Parallel()
 	var out, errb bytes.Buffer

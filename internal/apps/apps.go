@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/turnin"
 	"repro/internal/apps/untar"
 	"repro/internal/core/inject"
+	"repro/internal/core/sched"
 )
 
 // Spec is one selectable campaign.
@@ -101,6 +102,20 @@ func Lookup(name string) (Spec, error) {
 		}
 	}
 	return Spec{}, fmt.Errorf("apps: unknown campaign %q", name)
+}
+
+// SuiteJobs returns the scheduler job list for the whole catalog: every
+// campaign in both variants, in catalog order — the workload of
+// `eptest -all` and the suite benchmarks.
+func SuiteJobs() []sched.Job {
+	var jobs []sched.Job
+	for _, spec := range Catalog() {
+		jobs = append(jobs,
+			sched.Job{Name: spec.Name, Variant: "vulnerable", Build: spec.Vulnerable},
+			sched.Job{Name: spec.Name, Variant: "fixed", Build: spec.Fixed},
+		)
+	}
+	return jobs
 }
 
 // Names returns the registered campaign names.

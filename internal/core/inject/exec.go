@@ -1,0 +1,68 @@
+package inject
+
+import "repro/internal/interpose"
+
+// ExecPlan is a materialised campaign: the clean-run planning state of
+// Section 3.3 steps 2-5 plus the ordered list of injection runs steps 6-8
+// will perform. Each run builds its own world through the campaign's
+// Factory and shares nothing mutable with the others, so distinct indices
+// may be executed from concurrent goroutines; a scheduler that writes
+// RunOne(i) into slot i of a results slice reproduces the sequential
+// engine's Result bit for bit.
+type ExecPlan struct {
+	campaign Campaign
+	opt      Options
+	shell    *Result
+	plans    []planned
+}
+
+// Prepare materialises the campaign's execution plan under default
+// engine options.
+func Prepare(c Campaign) (*ExecPlan, error) { return PrepareWith(c, Options{}) }
+
+// PrepareWith materialises the campaign's execution plan: the clean run,
+// the interaction-point enumeration, and the per-point fault lists.
+func PrepareWith(c Campaign, opt Options) (*ExecPlan, error) {
+	c.Faults = c.Faults.WithDefaults()
+	pr, err := planCampaign(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecPlan{campaign: c, opt: opt, shell: pr.result, plans: pr.plans}, nil
+}
+
+// NumRuns is the number of injection runs the plan schedules.
+func (p *ExecPlan) NumRuns() int { return len(p.plans) }
+
+// Planned describes run i without executing it.
+func (p *ExecPlan) Planned(i int) PlannedInjection {
+	pl := p.plans[i]
+	pi := PlannedInjection{
+		Point: interpose.PointID(pl.site, pl.occur),
+		Site:  pl.site,
+		Kind:  pl.kind,
+	}
+	switch {
+	case pl.dir != nil:
+		pi.FaultID = pl.dir.ID
+		pi.Class = pl.dir.Class()
+		pi.Attr = pl.dir.Attr
+	case pl.ind != nil:
+		pi.FaultID = pl.ind.ID
+		pi.Class = pl.ind.Class()
+		pi.Sem = pl.ind.Sem
+	}
+	return pi
+}
+
+// RunOne executes injection run i (steps 6-8) in a fresh world and
+// returns its outcome. It is safe for concurrent use: every call builds
+// its own kernel and mutates only its own Injection.
+func (p *ExecPlan) RunOne(i int) Injection {
+	return runOne(p.campaign, p.opt, p.plans[i])
+}
+
+// Shell returns a copy of the campaign result with the planning fields
+// (clean trace, site lists) filled in and Injections left for the caller
+// to populate — in plan order, one entry per RunOne index.
+func (p *ExecPlan) Shell() Result { return *p.shell }

@@ -80,6 +80,8 @@ type Injection struct {
 	Point string
 	// Site is the static call-site portion of Point.
 	Site string
+	// Kind is the environment-object kind the armed interaction touches.
+	Kind interpose.ObjectKind
 	// FaultID identifies the catalog fault injected.
 	FaultID string
 	// Class is direct or indirect.
@@ -159,6 +161,7 @@ func (r *Result) ViolationsBySite() map[string][]Injection {
 type planned struct {
 	site  string
 	occur int
+	kind  interpose.ObjectKind
 	dir   *eai.DirectFault
 	ind   *eai.IndirectFault
 }
@@ -167,19 +170,21 @@ type planned struct {
 func Run(c Campaign) (*Result, error) { return RunWith(c, Options{}) }
 
 // RunWith executes the campaign with explicit engine options: steps 2-5
-// (clean run, point enumeration, fault lists) via planCampaign, then one
-// injection run per planned fault (steps 6-8).
+// (clean run, point enumeration, fault lists) via PrepareWith, then one
+// injection run per planned fault (steps 6-8), strictly sequentially.
+// Callers that want the runs fanned out across workers use the same
+// ExecPlan surface through the sched package.
 func RunWith(c Campaign, opt Options) (*Result, error) {
-	c.Faults = c.Faults.WithDefaults()
-	pr, err := planCampaign(c, opt)
+	plan, err := PrepareWith(c, opt)
 	if err != nil {
 		return nil, err
 	}
-	res := pr.result
-	for _, pl := range pr.plans {
-		res.Injections = append(res.Injections, runOne(c, opt, pl))
+	res := plan.Shell()
+	res.Injections = make([]Injection, 0, plan.NumRuns())
+	for i := 0; i < plan.NumRuns(); i++ {
+		res.Injections = append(res.Injections, plan.RunOne(i))
 	}
-	return res, nil
+	return &res, nil
 }
 
 // callCwd returns the working directory the call was made from, falling
@@ -208,6 +213,7 @@ func runOne(c Campaign, opt Options, pl planned) Injection {
 	inj := Injection{
 		Point: interpose.PointID(pl.site, pl.occur),
 		Site:  pl.site,
+		Kind:  pl.kind,
 	}
 
 	// Snap defaults to the pre-run world; a direct fault replaces it with

@@ -15,6 +15,7 @@ import (
 type PlannedInjection struct {
 	Point   string
 	Site    string
+	Kind    interpose.ObjectKind
 	FaultID string
 	Class   eai.Class
 	Attr    eai.Attr
@@ -30,27 +31,13 @@ func Plan(c Campaign) ([]PlannedInjection, error) {
 
 // PlanWith is Plan under explicit engine options.
 func PlanWith(c Campaign, opt Options) ([]PlannedInjection, error) {
-	res, err := planCampaign(c, opt)
+	plan, err := PrepareWith(c, opt)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]PlannedInjection, 0, len(res.plans))
-	for _, pl := range res.plans {
-		pi := PlannedInjection{
-			Point: interpose.PointID(pl.site, pl.occur),
-			Site:  pl.site,
-		}
-		switch {
-		case pl.dir != nil:
-			pi.FaultID = pl.dir.ID
-			pi.Class = eai.ClassDirect
-			pi.Attr = pl.dir.Attr
-		case pl.ind != nil:
-			pi.FaultID = pl.ind.ID
-			pi.Class = eai.ClassIndirect
-			pi.Sem = pl.ind.Sem
-		}
-		out = append(out, pi)
+	out := make([]PlannedInjection, plan.NumRuns())
+	for i := range out {
+		out[i] = plan.Planned(i)
 	}
 	return out, nil
 }
@@ -256,7 +243,7 @@ func planCampaign(c Campaign, opt Options) (*planResult, error) {
 						continue
 					}
 					injectedAttr[key] = true
-					sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, dir: &f})
+					sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, dir: &f})
 				}
 			}
 		}
@@ -268,7 +255,7 @@ func planCampaign(c Campaign, opt Options) (*planResult, error) {
 			}
 			for _, f := range eai.CatalogIndirect(sem) {
 				f := f
-				sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, ind: &f})
+				sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, ind: &f})
 			}
 		}
 

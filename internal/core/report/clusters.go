@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/coverage"
+	"repro/internal/core/sched"
+)
+
+// SuiteRun renders a scheduled suite's per-campaign summary: one row
+// per job with its adequacy metric, in job order, with failed
+// campaigns called out inline.
+func SuiteRun(sr *sched.SuiteResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %7s %9s %10s %7s %7s  %s\n",
+		"campaign", "points", "injected", "violations", "FC", "IC", "region")
+	for _, c := range sr.Campaigns {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "%-24s FAILED: %v\n", c.Job.Label(), c.Err)
+			continue
+		}
+		m := c.Result.Metric()
+		fmt.Fprintf(&b, "%-24s %7d %9d %10d %7.3f %7.3f  %s\n",
+			c.Job.Label(), m.PointsPerturbed, m.FaultsInjected, m.Violations(),
+			m.FaultCoverage(), m.InteractionCoverage(), coverage.Classify(m))
+	}
+	return b.String()
+}
+
+// Clusters renders deduplicated suite findings: one block per
+// violation cluster, largest first, with the signature, the campaigns
+// it spans, and each member occurrence.
+func Clusters(clusters []sched.Cluster) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clustered findings: %d violation classes\n", len(clusters))
+	for _, cl := range clusters {
+		fmt.Fprintf(&b, "\n[%d finding(s)] %s\n", len(cl.Findings), cl.Sig)
+		fmt.Fprintf(&b, "  campaigns: %s\n", strings.Join(cl.Campaigns(), ", "))
+		for _, f := range cl.Findings {
+			label := f.Campaign
+			if f.Variant != "" {
+				label += "/" + f.Variant
+			}
+			fmt.Fprintf(&b, "  %-24s %-24s %-44s %s\n", label, f.Point, f.FaultID, f.Object)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/core/sched"
+	"repro/internal/interpose"
+)
+
+func scheduledSuite() *sched.SuiteResult {
+	results := suiteResults()
+	return &sched.SuiteResult{Campaigns: []sched.CampaignResult{
+		{Job: sched.Job{Name: "alpha", Variant: "vulnerable"}, Result: results[0]},
+		{Job: sched.Job{Name: "beta", Variant: "fixed"}, Result: results[1]},
+		{Job: sched.Job{Name: "gamma", Variant: "vulnerable"}, Err: inject.ErrNoWorld},
+	}}
+}
+
+func TestSuiteRunRendering(t *testing.T) {
+	t.Parallel()
+	out := SuiteRun(scheduledSuite())
+	for _, want := range []string{
+		"alpha/vulnerable", "beta/fixed", "gamma/vulnerable", "FAILED", "region",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite run missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClustersRendering(t *testing.T) {
+	t.Parallel()
+	clusters := []sched.Cluster{
+		{
+			Sig: sched.Signature{
+				Rule:  policy.KindIntegrity,
+				Class: eai.ClassDirect,
+				Attr:  eai.AttrExistence,
+				Kind:  interpose.KindFile,
+			},
+			Findings: []sched.Finding{
+				{Campaign: "alpha", Variant: "vulnerable", Point: "s#0",
+					FaultID: "direct/file-system/existence", Object: "/x"},
+				{Campaign: "beta", Variant: "vulnerable", Point: "t#0",
+					FaultID: "direct/file-system/existence", Object: "/y"},
+			},
+		},
+	}
+	out := Clusters(clusters)
+	for _, want := range []string{
+		"1 violation classes", "[2 finding(s)]", "alpha/vulnerable", "beta/vulnerable", "/x", "/y",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clusters missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core/eai"
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/interpose"
+)
+
+// Signature identifies a class of equivalent violations: the policy
+// rule that fired, the fault dimension that triggered it (attribute for
+// direct faults, input semantic for indirect ones), and the kind of
+// environment object perturbed. Suite runs over a whole catalog surface
+// the same weakness through many (campaign, point) pairs; clustering by
+// signature deduplicates them into findings.
+type Signature struct {
+	// Rule is the violated policy rule.
+	Rule policy.Kind
+	// Class is the fault class (direct or indirect).
+	Class eai.Class
+	// Attr is the perturbed attribute, for direct faults.
+	Attr eai.Attr
+	// Sem is the perturbed input semantic, for indirect faults.
+	Sem eai.Semantic
+	// Kind is the environment-object kind at the interaction point.
+	Kind interpose.ObjectKind
+}
+
+// String renders the signature as a stable, human-readable key.
+func (s Signature) String() string {
+	dim := s.Attr.String()
+	if s.Class == eai.ClassIndirect {
+		dim = s.Sem.String()
+	}
+	return fmt.Sprintf("%s/%s/%s on %s", s.Rule, s.Class, dim, s.Kind)
+}
+
+// Finding is one concrete violation inside a cluster.
+type Finding struct {
+	// Campaign and Variant locate the job that produced the finding.
+	Campaign string
+	Variant  string
+	// Point is the interaction point whose perturbation violated.
+	Point string
+	// FaultID is the catalog fault injected.
+	FaultID string
+	// Object is the environment object the violation names.
+	Object string
+	// Detail is the oracle's explanation.
+	Detail string
+}
+
+// Cluster groups every finding that shares a signature.
+type Cluster struct {
+	Sig      Signature
+	Findings []Finding
+}
+
+// Campaigns returns the distinct campaign labels represented in the
+// cluster, in first-seen order.
+func (c Cluster) Campaigns() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range c.Findings {
+		label := f.Campaign
+		if f.Variant != "" {
+			label += "/" + f.Variant
+		}
+		if !seen[label] {
+			seen[label] = true
+			out = append(out, label)
+		}
+	}
+	return out
+}
+
+// ClusterResult clusters the violations of a single campaign result.
+func ClusterResult(res *inject.Result) []Cluster {
+	return clusterAll([]labelled{{campaign: res.Campaign, res: res}})
+}
+
+// ClusterSuite clusters every violation across the suite's completed
+// campaigns. Clusters are ordered by descending size, then by
+// signature, so the dominant weakness classes lead the report.
+func ClusterSuite(sr *SuiteResult) []Cluster {
+	var ls []labelled
+	for _, c := range sr.Campaigns {
+		if c.Err != nil || c.Result == nil {
+			continue
+		}
+		ls = append(ls, labelled{campaign: c.Job.Name, variant: c.Job.Variant, res: c.Result})
+	}
+	return clusterAll(ls)
+}
+
+// labelled pairs a campaign result with its suite labels.
+type labelled struct {
+	campaign, variant string
+	res               *inject.Result
+}
+
+func clusterAll(ls []labelled) []Cluster {
+	bysig := map[Signature]*Cluster{}
+	var order []Signature
+	for _, l := range ls {
+		for _, in := range l.res.Violations() {
+			for _, v := range in.Violations {
+				sig := Signature{
+					Rule:  v.Kind,
+					Class: in.Class,
+					Attr:  in.Attr,
+					Sem:   in.Sem,
+					Kind:  in.Kind,
+				}
+				cl, ok := bysig[sig]
+				if !ok {
+					cl = &Cluster{Sig: sig}
+					bysig[sig] = cl
+					order = append(order, sig)
+				}
+				cl.Findings = append(cl.Findings, Finding{
+					Campaign: l.campaign,
+					Variant:  l.variant,
+					Point:    in.Point,
+					FaultID:  in.FaultID,
+					Object:   v.Object,
+					Detail:   v.Detail,
+				})
+			}
+		}
+	}
+	out := make([]Cluster, 0, len(order))
+	for _, sig := range order {
+		out = append(out, *bysig[sig])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i].Findings) != len(out[j].Findings) {
+			return len(out[i].Findings) > len(out[j].Findings)
+		}
+		return out[i].Sig.String() < out[j].Sig.String()
+	})
+	return out
+}

@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core/inject"
+)
+
+// Job is one suite entry: a named campaign variant to schedule.
+type Job struct {
+	// Name is the catalog campaign name.
+	Name string
+	// Variant labels the program under test ("vulnerable", "fixed").
+	Variant string
+	// Build constructs the campaign. It is invoked once, on a
+	// scheduler goroutine.
+	Build func() inject.Campaign
+}
+
+// Label renders the job for events and reports.
+func (j Job) Label() string {
+	if j.Variant == "" {
+		return j.Name
+	}
+	return j.Name + "/" + j.Variant
+}
+
+// EventKind discriminates suite progress events.
+type EventKind int
+
+const (
+	// EventPlanned fires after a campaign's clean run and fault-list
+	// enumeration; Total is set.
+	EventPlanned EventKind = iota + 1
+	// EventProgress fires after each completed injection run.
+	EventProgress
+	// EventDone fires when a campaign finishes (Err set on failure).
+	EventDone
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPlanned:
+		return "planned"
+	case EventProgress:
+		return "progress"
+	case EventDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Event is one suite progress notification. Events for a single job
+// arrive in order; events for different jobs interleave. The suite
+// serialises callback invocations, so handlers need no locking.
+type Event struct {
+	Kind EventKind
+	Job  Job
+	// Done and Total count this campaign's injection runs.
+	Done, Total int
+	// Err is set on EventDone when the campaign failed to plan.
+	Err error
+}
+
+// SuiteOptions parameterises a suite run.
+type SuiteOptions struct {
+	// Workers is the global concurrency budget shared by every
+	// campaign in the suite. Zero or negative means GOMAXPROCS.
+	Workers int
+	// Engine is the injection-engine options applied to every job.
+	Engine inject.Options
+	// OnEvent, when non-nil, receives progress events. Calls are
+	// serialised.
+	OnEvent func(Event)
+}
+
+// CampaignResult is one job's outcome.
+type CampaignResult struct {
+	Job    Job
+	Result *inject.Result
+	Err    error
+}
+
+// SuiteResult aggregates a suite run, in job order.
+type SuiteResult struct {
+	Campaigns []CampaignResult
+}
+
+// Failed returns the jobs whose campaigns errored.
+func (s *SuiteResult) Failed() []CampaignResult {
+	var out []CampaignResult
+	for _, c := range s.Campaigns {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunSuite schedules every job's injection runs across a worker pool
+// bounded by opt.Workers. Campaigns plan and execute concurrently with
+// one another, but the total number of in-flight injection runs never
+// exceeds the budget. Per-campaign results are deterministic and equal
+// to sequential inject.RunWith output.
+func RunSuite(jobs []Job, opt SuiteOptions) *SuiteResult {
+	res := &SuiteResult{Campaigns: make([]CampaignResult, len(jobs))}
+	budget := opt.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, budget)
+
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if opt.OnEvent == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		opt.OnEvent(ev)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for ji := range jobs {
+		go func(ji int) {
+			defer wg.Done()
+			job := jobs[ji]
+			res.Campaigns[ji].Job = job
+
+			sem <- struct{}{}
+			plan, err := inject.PrepareWith(job.Build(), opt.Engine)
+			<-sem
+			if err != nil {
+				res.Campaigns[ji].Err = err
+				emit(Event{Kind: EventDone, Job: job, Err: err})
+				return
+			}
+
+			n := plan.NumRuns()
+			emit(Event{Kind: EventPlanned, Job: job, Total: n})
+			out := make([]inject.Injection, n)
+			w := budget
+			if w > n {
+				w = n
+			}
+			var next atomic.Int64
+			var runWG sync.WaitGroup
+			runWG.Add(w)
+			done := 0
+			var doneMu sync.Mutex
+			for g := 0; g < w; g++ {
+				go func() {
+					defer runWG.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						sem <- struct{}{}
+						out[i] = plan.RunOne(i)
+						<-sem
+						// Emitting under doneMu keeps a job's progress
+						// counts in order across its workers.
+						doneMu.Lock()
+						done++
+						emit(Event{Kind: EventProgress, Job: job, Done: done, Total: n})
+						doneMu.Unlock()
+					}
+				}()
+			}
+			runWG.Wait()
+
+			shell := plan.Shell()
+			shell.Injections = out
+			res.Campaigns[ji].Result = &shell
+			emit(Event{Kind: EventDone, Job: job, Done: n, Total: n})
+		}(ji)
+	}
+	wg.Wait()
+	return res
+}
