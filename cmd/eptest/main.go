@@ -5,11 +5,19 @@
 // variants) as one suite across a worker pool and prints the summary
 // table plus the clustered violation findings.
 //
+// Suite runs scale beyond one process through the result store (see
+// docs/STORE.md): -cache makes re-runs incremental by replaying
+// campaigns whose plan fingerprint is unchanged, -shard k/n runs one
+// deterministic partition of the suite and writes a mergeable shard
+// artifact into the store, and -merge recombines the artifacts into the
+// exact report an unsharded run would print.
+//
 // Usage:
 //
 //	eptest -list
 //	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
-//	eptest -all [-j N] [-v]
+//	eptest -all [-j N] [-v] [-cache DIR] [-shard k/n]
+//	eptest -merge DIR
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/core/inject"
 	"repro/internal/core/report"
 	"repro/internal/core/sched"
+	"repro/internal/core/store"
 )
 
 func main() {
@@ -39,11 +48,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fixed    = fs.Bool("fixed", false, "run against the repaired program variant")
 		perPoint = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
 		verbose  = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress)")
+		cache    = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose plan fingerprint is cached")
+		shard    = fs.String("shard", "", "with -all and -cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
+		merge    = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *merge != "" {
+		if *list || *all || *campaign != "" || *shard != "" || *cache != "" {
+			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache)")
+			return 2
+		}
+		return runMerge(*merge, stdout, stderr)
+	}
 	if *list {
 		fmt.Fprintln(stdout, "available campaigns:")
 		for _, s := range apps.Catalog() {
@@ -52,7 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *all {
-		return runSuite(*workers, *verbose, stdout)
+		return runSuite(*workers, *verbose, *cache, *shard, stdout, stderr)
+	}
+	if *shard != "" || *cache != "" {
+		fmt.Fprintln(stderr, "eptest: -cache and -shard require -all")
+		return 2
 	}
 	if *campaign == "" {
 		fmt.Fprintln(stderr, "eptest: -campaign required (or -list / -all)")
@@ -110,18 +133,59 @@ func runCampaign(c inject.Campaign, workers int) (*inject.Result, error) {
 // scheduling health (a campaign that fails to plan), not violations:
 // the suite intentionally includes vulnerable variants, so findings
 // are the expected output, not an error.
-func runSuite(workers int, verbose bool, stdout io.Writer) int {
+//
+// With cacheDir the suite runs against a result store; with shardSpec
+// it runs one deterministic partition of the job list and writes a
+// shard artifact into the store for a later -merge. The suite report
+// proper (summary table + clusters) always comes first and is identical
+// between cold and warm cache runs; the cache and shard sections follow.
+func runSuite(workers int, verbose bool, cacheDir, shardSpec string, stdout, stderr io.Writer) int {
 	jobs := apps.SuiteJobs()
+	catalog := make([]string, len(jobs))
+	for i, j := range jobs {
+		catalog[i] = j.Label()
+	}
+	var (
+		spec    sched.ShardSpec
+		indices []int
+	)
+	if shardSpec != "" {
+		var err error
+		spec, err = sched.ParseShard(shardSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 2
+		}
+		if cacheDir == "" {
+			fmt.Fprintln(stderr, "eptest: -shard needs -cache DIR to hold the shard artifact")
+			return 2
+		}
+		jobs, indices = sched.ShardJobs(jobs, spec)
+	}
+
 	opt := sched.SuiteOptions{Workers: workers}
+	var st *store.Store
+	if cacheDir != "" {
+		var err error
+		st, err = store.Open(cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 2
+		}
+		opt.Cache = st
+	}
 	if verbose {
 		opt.OnEvent = func(ev sched.Event) {
 			switch ev.Kind {
 			case sched.EventPlanned:
 				fmt.Fprintf(stdout, "[%s] planned %d injection runs\n", ev.Job.Label(), ev.Total)
 			case sched.EventDone:
-				if ev.Err != nil {
+				switch {
+				case ev.Err != nil:
 					fmt.Fprintf(stdout, "[%s] FAILED: %v\n", ev.Job.Label(), ev.Err)
-				} else {
+				case ev.Cached:
+					fmt.Fprintf(stdout, "[%s] cached (%d runs replayed)\n", ev.Job.Label(), ev.Total)
+				default:
 					fmt.Fprintf(stdout, "[%s] done (%d/%d)\n", ev.Job.Label(), ev.Done, ev.Total)
 				}
 			}
@@ -131,6 +195,42 @@ func runSuite(workers int, verbose bool, stdout io.Writer) int {
 	fmt.Fprint(stdout, report.SuiteRun(sr))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
+	if st != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.CacheStats(sr))
+	}
+	if !spec.IsZero() {
+		if err := st.WriteShard(spec, catalog, indices, sr); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), st.Dir())
+	}
+	if len(sr.Failed()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runMerge recombines the shard artifacts under dir into one suite
+// report — byte-identical, up to the trailing merged-shard section, to
+// the report an unsharded -all run over the same catalog prints.
+func runMerge(dir string, stdout, stderr io.Writer) int {
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	sr, infos, err := st.MergeShards()
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, report.SuiteRun(sr))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.MergedShards(infos))
 	if len(sr.Failed()) > 0 {
 		return 1
 	}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// suiteReport returns the output up to (excluding) the result-cache
+// section — the part of a -cache run that must be byte-identical
+// between cold and warm runs.
+func suiteReport(out string) string {
+	if i := strings.Index(out, "result cache:"); i >= 0 {
+		return out[:i]
+	}
+	return out
+}
+
+// TestCacheSecondRunFullHits is the CLI acceptance test for incremental
+// suites: the same -all -cache invocation twice must report 0% then
+// 100% hits, with a byte-identical suite report.
+func TestCacheSecondRunFullHits(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var cold, warm, errb bytes.Buffer
+	if code := run([]string{"-all", "-j", "4", "-cache", dir}, &cold, &errb); code != 0 {
+		t.Fatalf("cold exit = %d, stderr = %s", code, errb.String())
+	}
+	if code := run([]string{"-all", "-j", "4", "-cache", dir}, &warm, &errb); code != 0 {
+		t.Fatalf("warm exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(cold.String(), "result cache: 0/20 campaigns replayed (0.0% hits)") {
+		t.Errorf("cold run cache section:\n%s", cold.String())
+	}
+	if !strings.Contains(warm.String(), "result cache: 20/20 campaigns replayed (100.0% hits)") {
+		t.Errorf("warm run cache section:\n%s", warm.String())
+	}
+	if suiteReport(cold.String()) != suiteReport(warm.String()) {
+		t.Error("suite report differs between cold and warm cache runs")
+	}
+}
+
+// TestShardMergeMatchesAll is the CLI acceptance test for sharding: run
+// the suite as two shards, merge, and demand the merged report equal an
+// unsharded -all report byte for byte (up to the trailing merged-shard
+// section).
+func TestShardMergeMatchesAll(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var full, s1, s2, merged, errb bytes.Buffer
+	if code := run([]string{"-all", "-j", "4"}, &full, &errb); code != 0 {
+		t.Fatalf("-all exit = %d, stderr = %s", code, errb.String())
+	}
+	if code := run([]string{"-all", "-j", "4", "-shard", "1/2", "-cache", dir}, &s1, &errb); code != 0 {
+		t.Fatalf("shard 1/2 exit = %d, stderr = %s", code, errb.String())
+	}
+	if code := run([]string{"-all", "-j", "4", "-shard", "2/2", "-cache", dir}, &s2, &errb); code != 0 {
+		t.Fatalf("shard 2/2 exit = %d, stderr = %s", code, errb.String())
+	}
+	for _, out := range []*bytes.Buffer{&s1, &s2} {
+		if !strings.Contains(out.String(), "wrote 10 job(s)") {
+			t.Errorf("shard output missing artifact confirmation:\n%s", out.String())
+		}
+	}
+	if code := run([]string{"-merge", dir}, &merged, &errb); code != 0 {
+		t.Fatalf("-merge exit = %d, stderr = %s", code, errb.String())
+	}
+	got := merged.String()
+	i := strings.Index(got, "merged from")
+	if i < 0 {
+		t.Fatalf("merge output missing the merged-shard section:\n%s", got)
+	}
+	if !strings.Contains(got[i:], "2 shard artifact(s), 20 jobs") {
+		t.Errorf("merged-shard section:\n%s", got[i:])
+	}
+	// Strip the section and its separating blank line.
+	if want := full.String(); strings.TrimSuffix(got[:i], "\n") != want {
+		t.Errorf("merged report differs from -all:\n--- all ---\n%s\n--- merged ---\n%s", want, got[:i])
+	}
+}
+
+// TestMergeEmptyStoreFails pins the merge error path.
+func TestMergeEmptyStoreFails(t *testing.T) {
+	t.Parallel()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-merge", t.TempDir()}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no shard artifacts") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+// TestShardFlagValidation pins the flag-combination errors.
+func TestShardFlagValidation(t *testing.T) {
+	t.Parallel()
+	cases := map[string][]string{
+		"shard without all":   {"-shard", "1/2", "-cache", "ignored"},
+		"cache without all":   {"-campaign", "turnin", "-cache", "ignored"},
+		"shard without cache": {"-all", "-shard", "1/2"},
+		"malformed shard":     {"-all", "-shard", "2", "-cache", "ignored"},
+		"out-of-range shard":  {"-all", "-shard", "3/2", "-cache", "ignored"},
+		"merge with all":      {"-merge", "ignored", "-all"},
+		"merge with cache":    {"-merge", "ignored", "-cache", "ignored"},
+		"merge with list":     {"-merge", "ignored", "-list"},
+	}
+	for name, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%s: exit = %d, want 2 (stderr %q)", name, code, errb.String())
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Du & Mathur,
+// "Testing for Software Vulnerability Using Environment Perturbation"
+// (DSN 2000).
+//
+// The library lives under internal/ — see docs/ARCHITECTURE.md for the
+// per-package tour (sim → interpose → eai → inject → sched/store →
+// policy → coverage → report) — and is driven by the CLIs under cmd/
+// and the worked examples under examples/. The package-level tests in
+// this directory are the repository's acceptance gate: every number the
+// paper publishes, regenerated in one sweep.
+package repro

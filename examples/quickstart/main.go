@@ -3,6 +3,11 @@
 // single environment interaction, and read the verdict.
 //
 //	go run ./examples/quickstart
+//
+// From here, scale up to the whole catalog — and make re-runs free by
+// attaching the persistent result store (docs/STORE.md):
+//
+//	go run ./cmd/eptest -all -j 8 -cache /tmp/epstore
 package main
 
 import (

@@ -1,0 +1,98 @@
+package inject_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/lpr"
+	"repro/internal/apps/turnin"
+	"repro/internal/core/inject"
+	"repro/internal/sim/proc"
+)
+
+// fp prepares the campaign and returns its fingerprint, failing the
+// test on a planning error.
+func fp(t *testing.T, c inject.Campaign, opt inject.Options, labels ...string) string {
+	t.Helper()
+	plan, err := inject.PrepareWith(c, opt)
+	if err != nil {
+		t.Fatalf("prepare %s: %v", c.Name, err)
+	}
+	return plan.Fingerprint(labels...)
+}
+
+// TestFingerprintStable asserts the core cache property: planning the
+// same campaign twice — two fresh worlds, two fresh traces — hashes to
+// the same fingerprint.
+func TestFingerprintStable(t *testing.T) {
+	t.Parallel()
+	for _, build := range map[string]func() inject.Campaign{
+		"lpr":    func() inject.Campaign { return lpr.Campaign(lpr.Vulnerable) },
+		"turnin": func() inject.Campaign { return turnin.Campaign(turnin.Vulnerable) },
+	} {
+		a := fp(t, build(), inject.Options{}, "job", "vulnerable")
+		b := fp(t, build(), inject.Options{}, "job", "vulnerable")
+		if a != b {
+			t.Errorf("same campaign, different fingerprints: %s vs %s", a, b)
+		}
+		if len(a) != 64 {
+			t.Errorf("fingerprint %q is not a hex sha256", a)
+		}
+	}
+}
+
+// TestFingerprintDiscriminates asserts that every cached-result
+// invalidation trigger — program variant (and with it the clean trace),
+// site selection, fault list, engine options, oracle policy, job labels
+// — perturbs the fingerprint.
+func TestFingerprintDiscriminates(t *testing.T) {
+	t.Parallel()
+	base := fp(t, lpr.Campaign(lpr.Vulnerable), inject.Options{}, "lpr", "vulnerable")
+
+	variants := map[string]string{
+		// The fixed program takes a different path through the
+		// environment: a different clean trace, so a different plan.
+		"program variant": fp(t, lpr.Campaign(lpr.Fixed), inject.Options{}, "lpr", "vulnerable"),
+		// Restricting the sites shrinks the fault list.
+		"site selection": fp(t, lpr.CreateSiteCampaign(lpr.Vulnerable), inject.Options{}, "lpr", "vulnerable"),
+		// Options reshape the fault list even over an identical trace.
+		"engine options": fp(t, lpr.Campaign(lpr.Vulnerable), inject.Options{OnlyDirect: true}, "lpr", "vulnerable"),
+		// Labels distinguish suite jobs that happen to plan identically.
+		"job labels": fp(t, lpr.Campaign(lpr.Vulnerable), inject.Options{}, "lpr", "fixed"),
+	}
+
+	// The oracle configuration changes run verdicts without touching
+	// the trace or the fault list.
+	repoliced := lpr.Campaign(lpr.Vulnerable)
+	repoliced.Policy.TrustedWritePaths = append([]string{}, repoliced.Policy.TrustedWritePaths...)
+	repoliced.Policy.TrustedWritePaths = append(repoliced.Policy.TrustedWritePaths, "/somewhere/else")
+	variants["oracle policy"] = fp(t, repoliced, inject.Options{}, "lpr", "vulnerable")
+
+	// The fault parameterisation changes what the appliers do.
+	refaulted := lpr.Campaign(lpr.Vulnerable)
+	refaulted.Faults.Attacker = proc.NewCred(4242, 4242)
+	variants["fault config"] = fp(t, refaulted, inject.Options{}, "lpr", "vulnerable")
+
+	seen := map[string]string{base: "base"}
+	for what, got := range variants {
+		if got == base {
+			t.Errorf("changing %s did not change the fingerprint", what)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s and %s collide on %s", what, prev, got)
+		}
+		seen[got] = what
+	}
+}
+
+// TestFingerprintCoversPolicyDefaults guards against a silent footgun:
+// two campaigns differing only in MinLeakLen must not share a cache
+// slot, since the oracle would judge their runs differently.
+func TestFingerprintCoversPolicyDefaults(t *testing.T) {
+	t.Parallel()
+	a := turnin.Campaign(turnin.Vulnerable)
+	b := turnin.Campaign(turnin.Vulnerable)
+	b.Policy.MinLeakLen = 99
+	if fp(t, a, inject.Options{}) == fp(t, b, inject.Options{}) {
+		t.Error("MinLeakLen change did not change the fingerprint")
+	}
+}

@@ -38,11 +38,7 @@ func Clusters(clusters []sched.Cluster) string {
 		fmt.Fprintf(&b, "\n[%d finding(s)] %s\n", len(cl.Findings), cl.Sig)
 		fmt.Fprintf(&b, "  campaigns: %s\n", strings.Join(cl.Campaigns(), ", "))
 		for _, f := range cl.Findings {
-			label := f.Campaign
-			if f.Variant != "" {
-				label += "/" + f.Variant
-			}
-			fmt.Fprintf(&b, "  %-24s %-24s %-44s %s\n", label, f.Point, f.FaultID, f.Object)
+			fmt.Fprintf(&b, "  %-24s %-24s %-44s %s\n", f.Label(), f.Point, f.FaultID, f.Object)
 		}
 	}
 	return b.String()

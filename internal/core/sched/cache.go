@@ -1,0 +1,19 @@
+package sched
+
+import "repro/internal/core/inject"
+
+// Cache is a campaign-result cache keyed by plan fingerprint
+// (inject.(*ExecPlan).Fingerprint). RunSuite consults it after planning
+// each job: a hit replays the stored result in place of the job's
+// injection runs; a miss runs the job and writes the result back.
+//
+// Implementations must be safe for concurrent use — the suite calls
+// them from one goroutine per job. The canonical implementation is
+// store.Store.
+type Cache interface {
+	// Get returns the result cached under the fingerprint, if any.
+	Get(fingerprint string) (*inject.Result, bool)
+	// Put stores a freshly computed result under its fingerprint.
+	// label is the human-readable job label, kept for inspection.
+	Put(fingerprint, label string, res *inject.Result) error
+}

@@ -53,6 +53,14 @@ type Finding struct {
 	Detail string
 }
 
+// Label renders the finding's job label, matching Job.Label.
+func (f Finding) Label() string {
+	if f.Variant == "" {
+		return f.Campaign
+	}
+	return f.Campaign + "/" + f.Variant
+}
+
 // Cluster groups every finding that shares a signature.
 type Cluster struct {
 	Sig      Signature
@@ -65,10 +73,7 @@ func (c Cluster) Campaigns() []string {
 	seen := map[string]bool{}
 	var out []string
 	for _, f := range c.Findings {
-		label := f.Campaign
-		if f.Variant != "" {
-			label += "/" + f.Variant
-		}
+		label := f.Label()
 		if !seen[label] {
 			seen[label] = true
 			out = append(out, label)

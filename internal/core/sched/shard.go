@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec names one of n deterministic partitions of a suite's job
+// list, 1-based: "k/n" on the eptest command line. The zero value means
+// "unsharded".
+type ShardSpec struct {
+	// K is the 1-based shard index.
+	K int
+	// N is the total shard count.
+	N int
+}
+
+// ParseShard parses the command-line form "k/n".
+func ParseShard(s string) (ShardSpec, error) {
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("sched: malformed shard %q (want \"k/n\")", s)
+	}
+	k, kerr := strconv.Atoi(ks)
+	n, nerr := strconv.Atoi(ns)
+	if kerr != nil || nerr != nil {
+		return ShardSpec{}, fmt.Errorf("sched: malformed shard %q (want \"k/n\")", s)
+	}
+	if n < 1 || k < 1 || k > n {
+		return ShardSpec{}, fmt.Errorf("sched: shard %q out of range (want 1 <= k <= n)", s)
+	}
+	return ShardSpec{K: k, N: n}, nil
+}
+
+// IsZero reports whether the spec is the unsharded zero value.
+func (sp ShardSpec) IsZero() bool { return sp.N == 0 }
+
+// String renders the command-line form.
+func (sp ShardSpec) String() string { return fmt.Sprintf("%d/%d", sp.K, sp.N) }
+
+// Indices returns the global job indices shard sp owns out of total
+// jobs: every i with i mod N == K-1. The round-robin stride keeps each
+// catalog campaign's vulnerable/fixed pair split across shards, so
+// shard workloads stay balanced; the partition depends only on (k, n,
+// total), which is what makes independently produced shard artifacts
+// mergeable.
+func (sp ShardSpec) Indices(total int) []int {
+	var out []int
+	for i := sp.K - 1; i < total; i += sp.N {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ShardJobs selects the shard's slice of the job list, returning the
+// selected jobs alongside their global indices in the full list (the
+// indices the shard artifact records for the merge).
+func ShardJobs(jobs []Job, sp ShardSpec) ([]Job, []int) {
+	idx := sp.Indices(len(jobs))
+	out := make([]Job, len(idx))
+	for i, gi := range idx {
+		out[i] = jobs[gi]
+	}
+	return out, idx
+}

@@ -1,0 +1,90 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core/sched"
+)
+
+// TestParseShard pins the accepted and rejected command-line forms.
+func TestParseShard(t *testing.T) {
+	t.Parallel()
+	for s, want := range map[string]sched.ShardSpec{
+		"1/1": {K: 1, N: 1},
+		"1/2": {K: 1, N: 2},
+		"3/3": {K: 3, N: 3},
+	} {
+		got, err := sched.ParseShard(s)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() != s {
+			t.Errorf("ParseShard(%q).String() = %q", s, got.String())
+		}
+	}
+	for _, s := range []string{"", "1", "0/2", "3/2", "-1/2", "2/0", "a/b", "1/2/3"} {
+		if got, err := sched.ParseShard(s); err == nil {
+			t.Errorf("ParseShard(%q) = %v, want error", s, got)
+		}
+	}
+}
+
+// TestShardIndicesPartition asserts the k/n selections are exactly a
+// partition of the job list: deterministic, pairwise disjoint, and
+// jointly covering, for every n up to the suite size.
+func TestShardIndicesPartition(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()
+	for n := 1; n <= len(jobs); n++ {
+		seen := make([]int, len(jobs))
+		for k := 1; k <= n; k++ {
+			spec := sched.ShardSpec{K: k, N: n}
+			a := spec.Indices(len(jobs))
+			b := spec.Indices(len(jobs))
+			if len(a) != len(b) {
+				t.Fatalf("%s: nondeterministic selection", spec)
+			}
+			sel, idx := sched.ShardJobs(jobs, spec)
+			if len(sel) != len(idx) || len(sel) != len(a) {
+				t.Fatalf("%s: ShardJobs disagrees with Indices", spec)
+			}
+			for i, gi := range idx {
+				if gi != a[i] {
+					t.Fatalf("%s: ShardJobs indices diverge from Indices", spec)
+				}
+				if sel[i].Label() != jobs[gi].Label() {
+					t.Fatalf("%s: job %d is %s, want %s", spec, i, sel[i].Label(), jobs[gi].Label())
+				}
+				seen[gi]++
+			}
+		}
+		for gi, count := range seen {
+			if count != 1 {
+				t.Errorf("n=%d: job %d selected %d times", n, gi, count)
+			}
+		}
+	}
+}
+
+// TestShardBalance asserts the round-robin stride never lets two shards
+// differ by more than one job.
+func TestShardBalance(t *testing.T) {
+	t.Parallel()
+	const total = 20
+	for n := 1; n <= 7; n++ {
+		min, max := total, 0
+		for k := 1; k <= n; k++ {
+			got := len(sched.ShardSpec{K: k, N: n}.Indices(total))
+			if got < min {
+				min = got
+			}
+			if got > max {
+				max = got
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d: shard sizes range %d..%d", n, min, max)
+		}
+	}
+}

@@ -61,6 +61,9 @@ type Event struct {
 	Job  Job
 	// Done and Total count this campaign's injection runs.
 	Done, Total int
+	// Cached is set on EventDone when the campaign's result was
+	// replayed from the cache instead of executed.
+	Cached bool
 	// Err is set on EventDone when the campaign failed to plan.
 	Err error
 }
@@ -75,6 +78,11 @@ type SuiteOptions struct {
 	// OnEvent, when non-nil, receives progress events. Calls are
 	// serialised.
 	OnEvent func(Event)
+	// Cache, when non-nil, makes the suite incremental: each job still
+	// plans (the clean run is what the fingerprint hashes), but a job
+	// whose fingerprint is cached replays the stored result instead of
+	// executing its injection runs, and fresh results are written back.
+	Cache Cache
 }
 
 // CampaignResult is one job's outcome.
@@ -82,11 +90,30 @@ type CampaignResult struct {
 	Job    Job
 	Result *inject.Result
 	Err    error
+	// Fingerprint is the job's plan fingerprint. Set only when the
+	// suite ran with a cache.
+	Fingerprint string
+	// Cached reports that Result was replayed from the cache.
+	Cached bool
+	// CacheErr records a failed cache write-back. The run itself
+	// succeeded; the suite treats the cache as best-effort.
+	CacheErr error
 }
 
 // SuiteResult aggregates a suite run, in job order.
 type SuiteResult struct {
 	Campaigns []CampaignResult
+}
+
+// CacheHits counts the campaigns replayed from the cache.
+func (s *SuiteResult) CacheHits() int {
+	n := 0
+	for _, c := range s.Campaigns {
+		if c.Cached {
+			n++
+		}
+	}
+	return n
 }
 
 // Failed returns the jobs whose campaigns errored.
@@ -142,6 +169,19 @@ func RunSuite(jobs []Job, opt SuiteOptions) *SuiteResult {
 
 			n := plan.NumRuns()
 			emit(Event{Kind: EventPlanned, Job: job, Total: n})
+
+			var fp string
+			if opt.Cache != nil {
+				fp = plan.Fingerprint(job.Name, job.Variant)
+				res.Campaigns[ji].Fingerprint = fp
+				if hit, ok := opt.Cache.Get(fp); ok {
+					res.Campaigns[ji].Result = hit
+					res.Campaigns[ji].Cached = true
+					emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
+					return
+				}
+			}
+
 			out := make([]inject.Injection, n)
 			w := budget
 			if w > n {
@@ -177,6 +217,9 @@ func RunSuite(jobs []Job, opt SuiteOptions) *SuiteResult {
 			shell := plan.Shell()
 			shell.Injections = out
 			res.Campaigns[ji].Result = &shell
+			if opt.Cache != nil {
+				res.Campaigns[ji].CacheErr = opt.Cache.Put(fp, job.Label(), &shell)
+			}
 			emit(Event{Kind: EventDone, Job: job, Done: n, Total: n})
 		}(ji)
 	}

@@ -1,0 +1,143 @@
+package sched_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core/inject"
+	"repro/internal/core/sched"
+)
+
+// memCache is an in-memory sched.Cache for exercising the suite's cache
+// protocol without touching disk.
+type memCache struct {
+	mu       sync.Mutex
+	entries  map[string]*inject.Result
+	gets     int
+	puts     int
+	putErr   error
+	lastPuts map[string]string // fingerprint -> label
+}
+
+func newMemCache() *memCache {
+	return &memCache{entries: map[string]*inject.Result{}, lastPuts: map[string]string{}}
+}
+
+func (m *memCache) Get(fp string) (*inject.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gets++
+	r, ok := m.entries[fp]
+	return r, ok
+}
+
+func (m *memCache) Put(fp, label string, res *inject.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	if m.putErr != nil {
+		return m.putErr
+	}
+	m.entries[fp] = res
+	m.lastPuts[fp] = label
+	return nil
+}
+
+// TestSuiteCacheColdThenWarm drives the incremental-suite contract: a
+// cold run misses everywhere and writes everything back; an immediate
+// re-run hits everywhere and reproduces the identical campaign results
+// without executing a single injection.
+func TestSuiteCacheColdThenWarm(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()[:4]
+	cache := newMemCache()
+
+	cold := sched.RunSuite(jobs, sched.SuiteOptions{Workers: 4, Cache: cache})
+	if hits := cold.CacheHits(); hits != 0 {
+		t.Fatalf("cold run reported %d cache hits", hits)
+	}
+	if cache.puts != len(jobs) {
+		t.Fatalf("cold run wrote %d entries, want %d", cache.puts, len(jobs))
+	}
+	for _, c := range cold.Campaigns {
+		if c.Fingerprint == "" {
+			t.Errorf("%s: no fingerprint recorded", c.Job.Label())
+		}
+		if c.CacheErr != nil {
+			t.Errorf("%s: cache write-back failed: %v", c.Job.Label(), c.CacheErr)
+		}
+		if got := cache.lastPuts[c.Fingerprint]; got != c.Job.Label() {
+			t.Errorf("entry for %s labelled %q", c.Job.Label(), got)
+		}
+	}
+
+	var events []sched.Event
+	warm := sched.RunSuite(jobs, sched.SuiteOptions{
+		Workers: 4,
+		Cache:   cache,
+		OnEvent: func(ev sched.Event) { events = append(events, ev) },
+	})
+	if hits := warm.CacheHits(); hits != len(jobs) {
+		t.Fatalf("warm run reported %d/%d cache hits", hits, len(jobs))
+	}
+	for i := range warm.Campaigns {
+		w, c := warm.Campaigns[i], cold.Campaigns[i]
+		if !w.Cached {
+			t.Errorf("%s: not marked cached", w.Job.Label())
+		}
+		if w.Fingerprint != c.Fingerprint {
+			t.Errorf("%s: fingerprint changed between runs", w.Job.Label())
+		}
+		if !reflect.DeepEqual(w.Result.Injections, c.Result.Injections) {
+			t.Errorf("%s: replayed injections diverge from the cold run", w.Job.Label())
+		}
+		if w.Result.Metric() != c.Result.Metric() {
+			t.Errorf("%s: replayed metric diverges", w.Job.Label())
+		}
+	}
+	// Warm events: one planned and one cached done per job, no progress.
+	cachedDones := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case sched.EventProgress:
+			t.Errorf("warm run emitted a progress event for %s", ev.Job.Label())
+		case sched.EventDone:
+			if !ev.Cached {
+				t.Errorf("warm EventDone for %s not marked cached", ev.Job.Label())
+			}
+			if ev.Done != ev.Total || ev.Total == 0 {
+				t.Errorf("warm EventDone for %s counts %d/%d", ev.Job.Label(), ev.Done, ev.Total)
+			}
+			cachedDones++
+		}
+	}
+	if cachedDones != len(jobs) {
+		t.Errorf("warm run emitted %d done events, want %d", cachedDones, len(jobs))
+	}
+}
+
+// TestSuiteCacheWriteBackFailureIsBestEffort asserts a failing cache
+// never fails the suite — the run completes and the error is surfaced
+// on the campaign result.
+func TestSuiteCacheWriteBackFailureIsBestEffort(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()[:1]
+	cache := newMemCache()
+	cache.putErr = errTest
+	sr := sched.RunSuite(jobs, sched.SuiteOptions{Workers: 2, Cache: cache})
+	c := sr.Campaigns[0]
+	if c.Err != nil || c.Result == nil {
+		t.Fatalf("campaign failed under a broken cache: %v", c.Err)
+	}
+	if c.CacheErr != errTest {
+		t.Errorf("CacheErr = %v, want the put error", c.CacheErr)
+	}
+}
+
+var errTest = errAs("cache closed")
+
+type errAs string
+
+func (e errAs) Error() string { return string(e) }

@@ -1,0 +1,158 @@
+// Package store persists campaign results on disk so suite runs can be
+// incremental and distributed.
+//
+// It has two layers, both living under one directory and both specified
+// in docs/STORE.md:
+//
+//   - a content-addressed result cache: one JSON entry per campaign,
+//     keyed by the plan fingerprint of inject.(*ExecPlan).Fingerprint.
+//     sched.RunSuite consults it (through the sched.Cache interface this
+//     package implements) to skip campaigns whose ExecPlan is unchanged
+//     and replay their stored results, bit-identical to a fresh run;
+//
+//   - shard artifacts: the per-process output of `eptest -all -shard
+//     k/n`, each carrying its slice of the deterministic job partition,
+//     which MergeShards recombines into the exact SuiteResult an
+//     unsharded run would have produced.
+//
+// Invalidation is purely fingerprint-driven: entries are immutable once
+// written, a changed campaign simply hashes to a new address, and a
+// bumped inject.EngineVersion or store FormatVersion orphans old entries
+// (Get treats them as misses) without any migration step.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core/inject"
+)
+
+// Store is a result store rooted at one directory. Methods are safe for
+// concurrent use by the suite scheduler's goroutines: entries are
+// immutable and writes go through rename, so readers never observe a
+// partial file.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	for _, sub := range []string{campaignDir, shardDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// On-disk layout (see docs/STORE.md).
+const (
+	campaignDir = "campaigns"
+	shardDir    = "shards"
+)
+
+// entry is the cache-entry envelope around one campaign result.
+type entry struct {
+	Store       string        `json:"store"`
+	Engine      string        `json:"engine"`
+	Fingerprint string        `json:"fingerprint"`
+	Label       string        `json:"label"`
+	Result      *wireCampaign `json:"result"`
+}
+
+// entryPath fans entries out over 256 prefix directories so no single
+// directory grows unboundedly.
+func (s *Store) entryPath(fp string) string {
+	prefix := "xx"
+	if len(fp) >= 2 {
+		prefix = fp[:2]
+	}
+	return filepath.Join(s.dir, campaignDir, prefix, fp+".json")
+}
+
+// Get returns the cached result stored under the fingerprint. Any
+// failure to produce a trustworthy entry — no file, unreadable JSON, a
+// foreign format or engine version, a fingerprint mismatch — is a cache
+// miss, never an error: the caller's fallback (re-running the campaign)
+// is always correct.
+func (s *Store) Get(fp string) (*inject.Result, bool) {
+	b, err := os.ReadFile(s.entryPath(fp))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, false
+	}
+	if e.Store != FormatVersion || e.Engine != inject.EngineVersion || e.Fingerprint != fp || e.Result == nil {
+		return nil, false
+	}
+	return fromWire(e.Result), true
+}
+
+// Put stores a campaign result under its fingerprint. label is a
+// human-readable job name kept alongside for inspection; it does not
+// participate in addressing. Existing entries are overwritten — the
+// address is content-derived, so a rewrite is byte-identical.
+func (s *Store) Put(fp, label string, res *inject.Result) error {
+	e := entry{
+		Store:       FormatVersion,
+		Engine:      inject.EngineVersion,
+		Fingerprint: fp,
+		Label:       label,
+		Result:      toWire(res),
+	}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", fp, err)
+	}
+	return s.writeAtomic(s.entryPath(fp), b)
+}
+
+// Len counts the cached campaign entries.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(filepath.Join(s.dir, campaignDir), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// writeAtomic writes through a same-directory temp file and rename, so
+// concurrent readers and crashed writers never surface a partial entry.
+func (s *Store) writeAtomic(path string, b []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

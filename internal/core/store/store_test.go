@@ -1,0 +1,155 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/lpr"
+	"repro/internal/core/inject"
+	"repro/internal/core/store"
+)
+
+// runLpr runs the small walk-through campaign and returns its result
+// and plan fingerprint.
+func runLpr(t *testing.T) (*inject.Result, string) {
+	t.Helper()
+	plan, err := inject.Prepare(lpr.Campaign(lpr.Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inject.Run(lpr.Campaign(lpr.Vulnerable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, plan.Fingerprint("lpr", "vulnerable")
+}
+
+// TestPutGetRoundTrip asserts a stored result replays with every
+// report-visible field intact and a byte-identical canonical encoding.
+func TestPutGetRoundTrip(t *testing.T) {
+	t.Parallel()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fp := runLpr(t)
+
+	if _, ok := st.Get(fp); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := st.Put(fp, "lpr/vulnerable", res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(fp)
+	if !ok {
+		t.Fatal("miss immediately after put")
+	}
+
+	if got.Campaign != res.Campaign ||
+		!reflect.DeepEqual(got.TotalSites, res.TotalSites) ||
+		!reflect.DeepEqual(got.PerturbedSites, res.PerturbedSites) ||
+		!reflect.DeepEqual(got.Injections, res.Injections) {
+		t.Error("replayed result diverges from the stored one")
+	}
+	if got.Metric() != res.Metric() {
+		t.Errorf("metric diverges: %+v vs %+v", got.Metric(), res.Metric())
+	}
+	// The canonical encoding is the store's definition of equality: it
+	// covers the clean trace too, including flattened errors.
+	a, err := store.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("canonical encodings diverge after a round trip")
+	}
+
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1 entry", n, err)
+	}
+}
+
+// TestWireCodecRoundTrip pins the standalone codec: decoding a
+// canonical encoding and re-encoding it must reproduce the bytes, so
+// artifacts written by one process replay exactly in another.
+func TestWireCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+	res, _ := runLpr(t)
+	a, err := store.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := store.DecodeResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.EncodeResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("encode→decode→encode is not a fixed point")
+	}
+	if _, err := store.DecodeResult([]byte("not json")); err == nil {
+		t.Error("DecodeResult accepted garbage")
+	}
+}
+
+// TestGetTreatsBadEntriesAsMisses asserts every flavour of untrustworthy
+// entry — absent, corrupt, mislabelled — is a miss, not an error or a
+// bogus replay.
+func TestGetTreatsBadEntriesAsMisses(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fp := runLpr(t)
+	if err := st.Put(fp, "lpr/vulnerable", res); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "campaigns", fp[:2], fp+".json")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated json":    pristine[:len(pristine)/2],
+		"not json":          []byte("not a store entry"),
+		"foreign format":    bytes.Replace(pristine, []byte(store.FormatVersion), []byte("eptest-store/0"), 1),
+		"foreign engine":    bytes.Replace(pristine, []byte(inject.EngineVersion), []byte("eptest-engine/0"), 1),
+		"wrong fingerprint": bytes.Replace(pristine, []byte(fp), []byte(strings.Repeat("0", len(fp))), 1),
+	}
+	for name, contents := range cases {
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Get(fp); ok {
+			t.Errorf("%s: Get returned a hit", name)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(fp); ok {
+		t.Error("absent entry: Get returned a hit")
+	}
+}
+
+// TestOpenRejectsEmptyDir pins the one invalid configuration.
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	t.Parallel()
+	if _, err := store.Open(""); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+}

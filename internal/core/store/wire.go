@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+
+	"repro/internal/core/inject"
+	"repro/internal/interpose"
+)
+
+// FormatVersion identifies the on-disk schema of cache entries and shard
+// artifacts. Readers reject files written under a different format; see
+// docs/STORE.md for the schema itself.
+const FormatVersion = "eptest-store/1"
+
+// wireCampaign is the serialised form of an inject.Result. Everything is
+// a plain exported value; the one impedance mismatch with the in-memory
+// type is the trace events' error field, which travels as its message.
+type wireCampaign struct {
+	Campaign       string      `json:"campaign"`
+	CleanTrace     []wireEvent `json:"clean_trace"`
+	TotalSites     []string    `json:"total_sites"`
+	PerturbedSites []string    `json:"perturbed_sites,omitempty"`
+	// Injections round-trip natively: inject.Injection and its nested
+	// policy.Violation carry only exported scalar fields.
+	Injections []inject.Injection `json:"injections"`
+}
+
+// wireEvent is one serialised trace event.
+type wireEvent struct {
+	Call         interpose.Call `json:"call"`
+	Result       wireCallResult `json:"result"`
+	ResolvedPath string         `json:"resolved_path,omitempty"`
+	Mutated      bool           `json:"mutated,omitempty"`
+}
+
+// wireCallResult mirrors interpose.Result with the error flattened to
+// its message ("" means nil).
+type wireCallResult struct {
+	Data []byte `json:"data,omitempty"`
+	Str  string `json:"str,omitempty"`
+	N    int    `json:"n,omitempty"`
+	Flag bool   `json:"flag,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// EncodeResult renders a campaign result in the store's canonical wire
+// form. Encoding is deterministic — struct fields serialise in
+// declaration order — so equal results produce equal bytes, which is
+// what the replay- and merge-determinism tests compare.
+func EncodeResult(r *inject.Result) ([]byte, error) {
+	return json.Marshal(toWire(r))
+}
+
+// DecodeResult parses the canonical wire form back into a campaign
+// result. Trace errors come back as opaque errors carrying the original
+// message; every field a report or merge consumes round-trips exactly.
+func DecodeResult(b []byte) (*inject.Result, error) {
+	var w wireCampaign
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, err
+	}
+	return fromWire(&w), nil
+}
+
+// toWire converts a result to its wire form.
+func toWire(r *inject.Result) *wireCampaign {
+	w := &wireCampaign{
+		Campaign:       r.Campaign,
+		CleanTrace:     make([]wireEvent, len(r.CleanTrace)),
+		TotalSites:     r.TotalSites,
+		PerturbedSites: r.PerturbedSites,
+		Injections:     r.Injections,
+	}
+	for i := range r.CleanTrace {
+		ev := &r.CleanTrace[i]
+		we := wireEvent{
+			Call: ev.Call,
+			Result: wireCallResult{
+				Data: ev.Result.Data,
+				Str:  ev.Result.Str,
+				N:    ev.Result.N,
+				Flag: ev.Result.Flag,
+			},
+			ResolvedPath: ev.ResolvedPath,
+			Mutated:      ev.Mutated,
+		}
+		if ev.Result.Err != nil {
+			we.Result.Err = ev.Result.Err.Error()
+		}
+		w.CleanTrace[i] = we
+	}
+	return w
+}
+
+// fromWire converts a wire campaign back to a result.
+func fromWire(w *wireCampaign) *inject.Result {
+	r := &inject.Result{
+		Campaign:       w.Campaign,
+		CleanTrace:     make([]interpose.Event, len(w.CleanTrace)),
+		TotalSites:     w.TotalSites,
+		PerturbedSites: w.PerturbedSites,
+		Injections:     w.Injections,
+	}
+	for i := range w.CleanTrace {
+		we := &w.CleanTrace[i]
+		ev := interpose.Event{
+			Call: we.Call,
+			Result: interpose.Result{
+				Data: we.Result.Data,
+				Str:  we.Result.Str,
+				N:    we.Result.N,
+				Flag: we.Result.Flag,
+			},
+			ResolvedPath: we.ResolvedPath,
+			Mutated:      we.Mutated,
+		}
+		if we.Result.Err != "" {
+			ev.Result.Err = errors.New(we.Result.Err)
+		}
+		r.CleanTrace[i] = ev
+	}
+	return r
+}
