@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
@@ -495,6 +496,81 @@ func BenchmarkSuiteParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(violations), "violations")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// skewedSuiteJobs is the unbalanced workload for the scheduling
+// benchmarks: a few expensive campaigns (turnin plans 41 runs each)
+// buried in a field of cheap ones (lpr-create-site plans 4), so a
+// campaign-granularity partition leaves whoever draws the turnins
+// running long after everyone else is idle.
+func skewedSuiteJobs(b *testing.B) []sched.Job {
+	heavy, err := apps.Lookup("turnin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	light, err := apps.Lookup("lpr-create-site")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []sched.Job
+	for i := 0; i < 15; i++ {
+		spec := light
+		if i%5 == 0 { // jobs 0, 5, 10 are heavy
+			spec = heavy
+		}
+		jobs = append(jobs, sched.Job{Name: spec.Name, Variant: "vulnerable", Build: spec.Vulnerable})
+	}
+	return jobs
+}
+
+// BenchmarkSuiteWorkStealing runs the skewed catalog through the
+// run-granularity work-stealing dispatcher on all CPUs: the heavy
+// campaigns' runs spread across every worker, so wall-clock tracks
+// total work, not the largest campaign.
+func BenchmarkSuiteWorkStealing(b *testing.B) {
+	jobs := skewedSuiteJobs(b)
+	var violations int
+	for i := 0; i < b.N; i++ {
+		violations = suiteViolations(b, sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0)}))
+	}
+	b.ReportMetric(float64(violations), "violations")
+}
+
+// BenchmarkSuiteStaticShards is the scheduling baseline the dispatcher
+// replaces: the same skewed catalog split into GOMAXPROCS static
+// campaign-granularity partitions (the cross-machine `-shard k/n`
+// model), each running its jobs on one worker. The gap to
+// BenchmarkSuiteWorkStealing is the cost of not rebalancing: the
+// shards that draw the heavy campaigns finish last while the rest sit
+// idle.
+func BenchmarkSuiteStaticShards(b *testing.B) {
+	jobs := skewedSuiteJobs(b)
+	n := runtime.GOMAXPROCS(0)
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	var violations int
+	for i := 0; i < b.N; i++ {
+		// Collect per-shard results and judge them on the benchmark
+		// goroutine — b.Fatalf must not run on a worker goroutine.
+		results := make([]*sched.SuiteResult, n)
+		var wg sync.WaitGroup
+		for k := 1; k <= n; k++ {
+			shardJobs, _ := sched.ShardJobs(jobs, sched.ShardSpec{K: k, N: n})
+			wg.Add(1)
+			go func(k int, shardJobs []sched.Job) {
+				defer wg.Done()
+				results[k-1] = sched.RunSuite(shardJobs, sched.SuiteOptions{Workers: 1})
+			}(k, shardJobs)
+		}
+		wg.Wait()
+		total := 0
+		for _, sr := range results {
+			total += suiteViolations(b, sr)
+		}
+		violations = total
+	}
+	b.ReportMetric(float64(violations), "violations")
 }
 
 // BenchmarkInterpositionOverhead measures the cost the bus adds per

@@ -2,28 +2,37 @@
 // against a named target application and prints the campaign report: the
 // injection list, the violations, and the two-dimensional adequacy metric.
 // With -all it schedules every catalog campaign (vulnerable and fixed
-// variants) as one suite across a worker pool and prints the summary
-// table plus the clustered violation findings.
+// variants) as one suite through the run-granularity work-stealing
+// dispatcher and prints the summary table plus the clustered violation
+// findings; on a terminal, live per-campaign progress bars track the run.
 //
 // Suite runs scale beyond one process through the result store (see
-// docs/STORE.md): -cache makes re-runs incremental by replaying
-// campaigns whose plan fingerprint is unchanged, -shard k/n runs one
-// deterministic partition of the suite and writes a mergeable shard
-// artifact into the store, and -merge recombines the artifacts into the
-// exact report an unsharded run would print.
+// docs/STORE.md): -cache makes re-runs incremental by replaying campaigns
+// whose fingerprint is unchanged (source-level hits skip even the clean
+// run), -shard k/n runs one deterministic partition of the suite and
+// writes a mergeable shard artifact into the store, and -merge recombines
+// the artifacts into the exact report an unsharded run would print.
+//
+// Suite runs scale beyond one machine through the cache transport (see
+// docs/DISTRIBUTED.md): -serve-cache exposes a store directory over HTTP,
+// and -cache-url points shard workers on other machines at it, so they
+// share one cache and publish their artifacts to one merge point.
 //
 // Usage:
 //
 //	eptest -list
 //	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
-//	eptest -all [-j N] [-v] [-cache DIR] [-shard k/n]
+//	eptest -all [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n]
 //	eptest -merge DIR
+//	eptest -serve-cache ADDR -cache DIR
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/apps"
@@ -37,28 +46,57 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// suiteConfig carries the validated -all flags into runSuite.
+type suiteConfig struct {
+	workers  int
+	verbose  bool
+	cacheDir string
+	cacheURL string
+	shard    string
+	// tty enables the live progress renderer; run() sets it when
+	// stdout is a terminal and -v is off.
+	tty bool
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eptest", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list     = fs.Bool("list", false, "list available campaigns")
-		campaign = fs.String("campaign", "", "campaign to run (see -list)")
-		all      = fs.Bool("all", false, "run every catalog campaign, both variants, as one suite")
-		workers  = fs.Int("j", 1, "concurrent injection runs (0 = all CPUs)")
-		fixed    = fs.Bool("fixed", false, "run against the repaired program variant")
-		perPoint = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
-		verbose  = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress)")
-		cache    = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose plan fingerprint is cached")
-		shard    = fs.String("shard", "", "with -all and -cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
-		merge    = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
+		list       = fs.Bool("list", false, "list available campaigns")
+		campaign   = fs.String("campaign", "", "campaign to run (see -list)")
+		all        = fs.Bool("all", false, "run every catalog campaign, both variants, as one suite")
+		workers    = fs.Int("j", 1, "concurrent injection runs (must be >= 1)")
+		fixed      = fs.Bool("fixed", false, "run against the repaired program variant")
+		perPoint   = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
+		verbose    = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress and dispatcher stats)")
+		cache      = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose fingerprint is cached")
+		cacheURL   = fs.String("cache-url", "", "with -all: remote cache server URL (a running `eptest -serve-cache`)")
+		shard      = fs.String("shard", "", "with -all and a cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
+		merge      = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
+		serveCache = fs.String("serve-cache", "", "serve the -cache store over HTTP at ADDR (e.g. :7077) for -cache-url workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "eptest: -j %d is not a worker count; pass how many injection runs may execute concurrently (-j 1 for sequential, -j 8 for eight workers)\n", *workers)
+		return 2
+	}
+	if *serveCache != "" {
+		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" {
+			fmt.Fprintln(stderr, "eptest: -serve-cache runs alone with -cache DIR (no -list/-all/-campaign/-merge/-shard/-cache-url); start workers separately with -cache-url")
+			return 2
+		}
+		if *cache == "" {
+			fmt.Fprintln(stderr, "eptest: -serve-cache needs -cache DIR naming the store directory to serve")
+			return 2
+		}
+		return runServeCache(*serveCache, *cache, stdout, stderr)
+	}
 	if *merge != "" {
-		if *list || *all || *campaign != "" || *shard != "" || *cache != "" {
-			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache)")
+		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" {
+			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url)")
 			return 2
 		}
 		return runMerge(*merge, stdout, stderr)
@@ -71,10 +109,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *all {
-		return runSuite(*workers, *verbose, *cache, *shard, stdout, stderr)
+		cfg := suiteConfig{
+			workers:  *workers,
+			verbose:  *verbose,
+			cacheDir: *cache,
+			cacheURL: *cacheURL,
+			shard:    *shard,
+			tty:      !*verbose && isTerminal(stdout),
+		}
+		return runSuite(cfg, stdout, stderr)
 	}
-	if *shard != "" || *cache != "" {
-		fmt.Fprintln(stderr, "eptest: -cache and -shard require -all")
+	if *shard != "" || *cache != "" || *cacheURL != "" {
+		fmt.Fprintln(stderr, "eptest: -cache, -cache-url and -shard require -all")
 		return 2
 	}
 	if *campaign == "" {
@@ -128,18 +174,44 @@ func runCampaign(c inject.Campaign, workers int) (*inject.Result, error) {
 	return sched.RunCampaign(c, sched.Config{Workers: workers})
 }
 
-// runSuite schedules the full catalog, both variants, and prints the
-// summary table and clustered findings. The exit code reflects
-// scheduling health (a campaign that fails to plan), not violations:
-// the suite intentionally includes vulnerable variants, so findings
-// are the expected output, not an error.
+// suiteTransport opens the result transport the flags select: the
+// local directory store, the HTTP cache client, or nothing.
+func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string, bool) {
+	switch {
+	case cfg.cacheDir != "" && cfg.cacheURL != "":
+		fmt.Fprintln(stderr, "eptest: -cache and -cache-url are alternative transports; pass exactly one")
+		return nil, "", false
+	case cfg.cacheDir != "":
+		st, err := store.Open(cfg.cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return nil, "", false
+		}
+		return st, st.Dir(), true
+	case cfg.cacheURL != "":
+		cl, err := store.Dial(cfg.cacheURL)
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest -serve-cache ADDR -cache DIR`)\n", err)
+			return nil, "", false
+		}
+		return cl, cl.Base(), true
+	}
+	return nil, "", true
+}
+
+// runSuite schedules the full catalog through the work-stealing
+// dispatcher and prints the summary table and clustered findings. The
+// exit code reflects scheduling health (a campaign that fails to
+// plan), not violations: the suite intentionally includes vulnerable
+// variants, so findings are the expected output, not an error.
 //
-// With cacheDir the suite runs against a result store; with shardSpec
-// it runs one deterministic partition of the job list and writes a
-// shard artifact into the store for a later -merge. The suite report
-// proper (summary table + clusters) always comes first and is identical
-// between cold and warm cache runs; the cache and shard sections follow.
-func runSuite(workers int, verbose bool, cacheDir, shardSpec string, stdout, stderr io.Writer) int {
+// With a cache transport the suite runs incrementally; with a shard
+// spec it runs one deterministic partition of the job list and
+// publishes a shard artifact for a later -merge. The suite report
+// proper (summary table + clusters) always comes first and is
+// identical between cold and warm cache runs; the cache, dispatcher
+// and shard sections follow.
+func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	jobs := apps.SuiteJobs()
 	catalog := make([]string, len(jobs))
 	for i, j := range jobs {
@@ -149,32 +221,34 @@ func runSuite(workers int, verbose bool, cacheDir, shardSpec string, stdout, std
 		spec    sched.ShardSpec
 		indices []int
 	)
-	if shardSpec != "" {
+	tr, dest, ok := suiteTransport(cfg, stderr)
+	if !ok {
+		return 2
+	}
+	if cfg.shard != "" {
 		var err error
-		spec, err = sched.ParseShard(shardSpec)
+		spec, err = sched.ParseShard(cfg.shard)
 		if err != nil {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 2
 		}
-		if cacheDir == "" {
-			fmt.Fprintln(stderr, "eptest: -shard needs -cache DIR to hold the shard artifact")
+		if tr == nil {
+			fmt.Fprintln(stderr, "eptest: -shard needs -cache DIR or -cache-url URL to hold the shard artifact")
 			return 2
 		}
 		jobs, indices = sched.ShardJobs(jobs, spec)
 	}
 
-	opt := sched.SuiteOptions{Workers: workers}
-	var st *store.Store
-	if cacheDir != "" {
-		var err error
-		st, err = store.Open(cacheDir)
-		if err != nil {
-			fmt.Fprintf(stderr, "eptest: %v\n", err)
-			return 2
-		}
-		opt.Cache = st
+	opt := sched.SuiteOptions{Workers: cfg.workers}
+	if tr != nil {
+		opt.Cache = tr
 	}
-	if verbose {
+	var progress *progressRenderer
+	switch {
+	case cfg.tty:
+		progress = newProgressRenderer(stdout, jobs)
+		opt.OnEvent = progress.Handle
+	case cfg.verbose:
 		opt.OnEvent = func(ev sched.Event) {
 			switch ev.Kind {
 			case sched.EventPlanned:
@@ -192,19 +266,26 @@ func runSuite(workers int, verbose bool, cacheDir, shardSpec string, stdout, std
 		}
 	}
 	sr := sched.RunSuite(jobs, opt)
+	if progress != nil {
+		progress.Close()
+	}
 	fmt.Fprint(stdout, report.SuiteRun(sr))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
-	if st != nil {
+	if tr != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.CacheStats(sr))
 	}
+	if cfg.verbose {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.Dispatch(sr))
+	}
 	if !spec.IsZero() {
-		if err := st.WriteShard(spec, catalog, indices, sr); err != nil {
+		if err := tr.WriteShard(spec, catalog, indices, sr); err != nil {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), st.Dir())
+		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), dest)
 	}
 	if len(sr.Failed()) > 0 {
 		return 1
@@ -232,6 +313,29 @@ func runMerge(dir string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.MergedShards(infos))
 	if len(sr.Failed()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runServeCache serves the store at dir over HTTP until the process is
+// terminated. Killing the server at any moment is safe: every store
+// write goes through an atomic rename, so readers and a later -merge
+// never observe partial files.
+func runServeCache(addr, dir string, stdout, stderr io.Writer) int {
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: -serve-cache %s: %v\n", addr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "eptest: cache server listening on %s (store %s)\n", ln.Addr(), st.Dir())
+	if err := http.Serve(ln, store.NewServer(st)); err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 1
 	}
 	return 0

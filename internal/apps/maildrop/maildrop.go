@@ -16,6 +16,13 @@ import (
 	"repro/internal/sim/vfs"
 )
 
+// SourceVersion identifies this package's world builder and program
+// variants for source-level result caching: it becomes part of every
+// campaign's inject.Campaign.Source identity (see apps.SuiteJobs).
+// Bump it whenever the world construction or a program variant changes
+// behaviour, or stale cached results will replay for the old code.
+const SourceVersion = "1"
+
 // World identities and landmarks.
 const (
 	InvokerUID  = 100

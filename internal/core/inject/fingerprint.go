@@ -64,6 +64,37 @@ func (p *ExecPlan) Fingerprint(labels ...string) string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
+// SourceFingerprint returns the content address of the campaign's
+// *source* — the declared world-builder/program identity plus every
+// configuration input the plan fingerprint hashes — or ok=false when
+// the campaign declares no Source. Unlike (*ExecPlan).Fingerprint it
+// needs no clean run, so a cache hit under this address skips the
+// campaign entirely, clean trace included.
+//
+// The trust model is weaker than the plan fingerprint's: the trace
+// pins the program transitively, while Source is a declaration. A
+// stale Source (world builder or program changed without a version
+// bump) replays results for code that no longer exists. The two
+// addresses live in disjoint hash domains, so a store can hold both
+// for one campaign; see docs/STORE.md.
+func SourceFingerprint(c Campaign, opt Options, labels ...string) (string, bool) {
+	if c.Source == "" {
+		return "", false
+	}
+	// PrepareWith defaults the fault config before the plan fingerprint
+	// hashes it; mirror that so both addresses see one configuration.
+	c.Faults = c.Faults.WithDefaults()
+	h := sha256.New()
+	fpStr(h, EngineVersion, "source-fingerprint", c.Source)
+	fpInt(h, len(labels))
+	for _, l := range labels {
+		fpStr(h, l)
+	}
+	fpCampaign(h, &c)
+	fpOptions(h, opt)
+	return fmt.Sprintf("%x", h.Sum(nil)), true
+}
+
 // fpCampaign hashes the campaign fields the runs consume: the name, the
 // site selection, the semantic annotations, the oracle policy, and the
 // (defaulted) fault configuration.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps/lpr"
 	"repro/internal/apps/turnin"
 	"repro/internal/core/inject"
+	"repro/internal/sim/kernel"
 	"repro/internal/sim/proc"
 )
 
@@ -81,6 +82,86 @@ func TestFingerprintDiscriminates(t *testing.T) {
 			t.Errorf("%s and %s collide on %s", what, prev, got)
 		}
 		seen[got] = what
+	}
+}
+
+// srcFP computes the source fingerprint, failing the test when the
+// campaign declares no Source.
+func srcFP(t *testing.T, c inject.Campaign, opt inject.Options, labels ...string) string {
+	t.Helper()
+	s, ok := inject.SourceFingerprint(c, opt, labels...)
+	if !ok {
+		t.Fatalf("campaign %s declares no Source", c.Name)
+	}
+	return s
+}
+
+// TestSourceFingerprintStableWithoutPlanning asserts the whole point:
+// the source fingerprint is computable without a clean run (no world
+// is ever built) and is stable across fresh campaign constructions.
+func TestSourceFingerprintStableWithoutPlanning(t *testing.T) {
+	t.Parallel()
+	build := func() inject.Campaign {
+		c := lpr.Campaign(lpr.Vulnerable)
+		c.Source = "lpr@1/vulnerable"
+		// A World that explodes proves SourceFingerprint never builds one.
+		c.World = func() (*kernel.Kernel, inject.Launch) {
+			t.Fatal("SourceFingerprint built a world")
+			return nil, inject.Launch{}
+		}
+		return c
+	}
+	a := srcFP(t, build(), inject.Options{}, "lpr", "vulnerable")
+	b := srcFP(t, build(), inject.Options{}, "lpr", "vulnerable")
+	if a != b {
+		t.Errorf("same source, different fingerprints: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("source fingerprint %q is not a hex sha256", a)
+	}
+}
+
+// TestSourceFingerprintDiscriminates asserts every invalidation
+// trigger a source address can see — the declared identity, the
+// configuration, the options, the labels — perturbs the hash, and that
+// source and plan fingerprints never collide (disjoint hash domains).
+func TestSourceFingerprintDiscriminates(t *testing.T) {
+	t.Parallel()
+	sourced := func(mut func(*inject.Campaign)) inject.Campaign {
+		c := lpr.Campaign(lpr.Vulnerable)
+		c.Source = "lpr@1/vulnerable"
+		if mut != nil {
+			mut(&c)
+		}
+		return c
+	}
+	base := srcFP(t, sourced(nil), inject.Options{}, "lpr", "vulnerable")
+
+	variants := map[string]string{
+		"source identity": srcFP(t, sourced(func(c *inject.Campaign) { c.Source = "lpr@2/vulnerable" }), inject.Options{}, "lpr", "vulnerable"),
+		"site selection":  srcFP(t, sourced(func(c *inject.Campaign) { c.Sites = []string{"lpr:create"} }), inject.Options{}, "lpr", "vulnerable"),
+		"engine options":  srcFP(t, sourced(nil), inject.Options{OnlyDirect: true}, "lpr", "vulnerable"),
+		"job labels":      srcFP(t, sourced(nil), inject.Options{}, "lpr", "fixed"),
+		"fault config": srcFP(t, sourced(func(c *inject.Campaign) {
+			c.Faults.Attacker = proc.NewCred(4242, 4242)
+		}), inject.Options{}, "lpr", "vulnerable"),
+	}
+	seen := map[string]string{base: "base"}
+	for what, got := range variants {
+		if got == base {
+			t.Errorf("changing %s did not change the source fingerprint", what)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s and %s collide on %s", what, prev, got)
+		}
+		seen[got] = what
+	}
+	if plan := fp(t, sourced(nil), inject.Options{}, "lpr", "vulnerable"); plan == base {
+		t.Error("source fingerprint collides with the plan fingerprint")
+	}
+
+	if _, ok := inject.SourceFingerprint(lpr.Campaign(lpr.Vulnerable), inject.Options{}); ok {
+		t.Error("a sourceless campaign produced a source fingerprint")
 	}
 }
 

@@ -56,6 +56,14 @@ type Campaign struct {
 	// Semantics annotates input sites with their Table 5 semantic kind.
 	// Unannotated sites fall back to eai.InferSemantic.
 	Semantics map[string]eai.Semantic
+	// Source names the campaign's source identity: the world-builder
+	// configuration and the program under test, e.g. "lpr@1/vulnerable".
+	// It feeds SourceFingerprint, which lets a result cache replay the
+	// campaign without re-executing even the clean run. The declarer
+	// owns its truthfulness — bump the version component whenever the
+	// world builder or program changes. Empty disables source-level
+	// caching; the trace-pinned plan fingerprint still applies.
+	Source string
 }
 
 // Options are engine variations used by the ablation benchmarks. The zero

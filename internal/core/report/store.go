@@ -21,8 +21,14 @@ func CacheStats(sr *sched.SuiteResult) string {
 		pct = 100 * float64(hits) / float64(total)
 	}
 	fmt.Fprintf(&b, "result cache: %d/%d campaigns replayed (%.1f%% hits)\n", hits, total, pct)
+	sourceHits := false
 	for _, c := range sr.Campaigns {
 		switch {
+		case c.CachedSource:
+			// A source-level hit never planned, so the plan fingerprint
+			// is unknown; show the source address that matched.
+			sourceHits = true
+			fmt.Fprintf(&b, "  %-24s hit*  %s\n", c.Job.Label(), short(c.SourceFingerprint))
 		case c.Cached:
 			fmt.Fprintf(&b, "  %-24s hit   %s\n", c.Job.Label(), short(c.Fingerprint))
 		case c.Err != nil:
@@ -33,6 +39,9 @@ func CacheStats(sr *sched.SuiteResult) string {
 		if c.CacheErr != nil {
 			fmt.Fprintf(&b, "  %-24s       write-back failed: %v\n", "", c.CacheErr)
 		}
+	}
+	if sourceHits {
+		b.WriteString("  (* source-fingerprint hit: clean run skipped too)\n")
 	}
 	return b.String()
 }

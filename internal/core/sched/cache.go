@@ -2,14 +2,19 @@ package sched
 
 import "repro/internal/core/inject"
 
-// Cache is a campaign-result cache keyed by plan fingerprint
-// (inject.(*ExecPlan).Fingerprint). RunSuite consults it after planning
-// each job: a hit replays the stored result in place of the job's
-// injection runs; a miss runs the job and writes the result back.
+// Cache is a campaign-result cache keyed by fingerprint. The
+// Dispatcher consults it twice per job: before planning under the
+// source fingerprint (inject.SourceFingerprint — a hit skips even the
+// clean run) and after planning under the plan fingerprint
+// (inject.(*ExecPlan).Fingerprint). A hit replays the stored result in
+// place of the job's runs; a miss runs the job and writes the result
+// back under both addresses.
 //
-// Implementations must be safe for concurrent use — the suite calls
-// them from one goroutine per job. The canonical implementation is
-// store.Store.
+// Implementations must be safe for concurrent use — the dispatcher
+// calls them from every worker. This is the transport seam for
+// distributed suites: store.Store implements it over a local
+// directory, store.Client over HTTP against `eptest -serve-cache`
+// (both satisfy store.Transport, which adds shard publication).
 type Cache interface {
 	// Get returns the result cached under the fingerprint, if any.
 	Get(fingerprint string) (*inject.Result, bool)

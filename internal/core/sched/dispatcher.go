@@ -1,0 +1,316 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core/inject"
+)
+
+// Dispatcher schedules a suite at run granularity: every Job is
+// expanded into its inject.ExecPlan run units, and the units flow
+// through per-worker deques with work stealing, so a worker that
+// drains its own queue rebalances onto whichever job still has runs
+// outstanding — no static partition, no idle workers while an
+// expensive campaign hogs one queue.
+//
+// Determinism is preserved by construction: each run writes its
+// outcome into its plan-order slot, and each campaign's result is
+// assembled exactly as the sequential engine would have, so the suite
+// report is byte-identical no matter how the runs interleave.
+type Dispatcher struct {
+	// Workers is the worker-goroutine count — the maximum number of
+	// concurrently executing plan/run units. Zero or negative means
+	// GOMAXPROCS.
+	Workers int
+	// Engine is the injection-engine options applied to every job.
+	Engine inject.Options
+	// OnEvent, when non-nil, receives progress events. Calls are
+	// serialised.
+	OnEvent func(Event)
+	// Cache, when non-nil, makes the suite incremental. A job whose
+	// source fingerprint (inject.SourceFingerprint) is cached replays
+	// without even its clean run; otherwise the job plans, and a plan-
+	// fingerprint hit replays without executing injection runs. Fresh
+	// results are written back under both fingerprints. The Cache may
+	// be local (store.Store) or a network transport (store.Client).
+	Cache Cache
+}
+
+// WorkerStats counts one dispatcher worker's activity.
+type WorkerStats struct {
+	// Plans is the number of campaigns this worker planned.
+	Plans int
+	// Runs is the number of injection runs this worker executed.
+	Runs int
+	// Steals counts tasks this worker took from another worker's deque.
+	Steals int
+}
+
+// DispatchStats aggregates a dispatcher pass for the report's
+// scheduling section. Totals are deterministic for a given suite;
+// the per-worker split and steal count depend on runtime scheduling.
+type DispatchStats struct {
+	// Workers is the worker-goroutine count used.
+	Workers int
+	// Plans, Runs and Steals total the per-worker counters.
+	Plans, Runs, Steals int
+	// PerWorker holds each worker's counters, indexed by worker id.
+	PerWorker []WorkerStats
+}
+
+// jobState is one job's in-flight scheduling state.
+type jobState struct {
+	idx  int
+	job  Job
+	plan *inject.ExecPlan
+	out  []inject.Injection
+
+	// mu guards the progress counters; progress events are emitted
+	// under it so a job's Done counts arrive in order.
+	mu   sync.Mutex
+	done int // runs completed
+	left int // runs not yet completed
+}
+
+// dispatchState is the shared coordination state of one Run call.
+type dispatchState struct {
+	d   *Dispatcher
+	res *SuiteResult
+
+	// mu guards the deques and the remaining counter; cond wakes idle
+	// workers when work is pushed or the suite drains.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	deques    []*deque
+	remaining int // tasks queued or executing
+
+	stats  []WorkerStats // one slot per worker, owned by that worker
+	emitMu sync.Mutex
+}
+
+// Run dispatches the jobs and returns their results in job order.
+func (d *Dispatcher) Run(jobs []Job) *SuiteResult {
+	w := d.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	st := &dispatchState{
+		d:      d,
+		res:    &SuiteResult{Campaigns: make([]CampaignResult, len(jobs))},
+		deques: make([]*deque, w),
+		stats:  make([]WorkerStats, w),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := range st.deques {
+		st.deques[i] = &deque{}
+	}
+
+	// Seed the deques round-robin with one plan task per job; the
+	// expansion into run units happens on whichever worker plans the
+	// job, and stealing spreads those units from there.
+	for ji := range jobs {
+		js := &jobState{idx: ji, job: jobs[ji]}
+		st.res.Campaigns[ji].Job = jobs[ji]
+		st.deques[ji%w].push(task{js: js, run: planTask})
+	}
+	st.remaining = len(jobs)
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer wg.Done()
+			st.worker(g)
+		}(g)
+	}
+	wg.Wait()
+
+	ds := DispatchStats{Workers: w, PerWorker: st.stats}
+	for _, ws := range st.stats {
+		ds.Plans += ws.Plans
+		ds.Runs += ws.Runs
+		ds.Steals += ws.Steals
+	}
+	st.res.Dispatch = ds
+	return st.res
+}
+
+// worker is one scheduling loop: pop own work, steal when dry, park
+// when the whole dispatcher is dry, exit when the suite drains.
+func (st *dispatchState) worker(w int) {
+	for {
+		t, stolen, ok := st.next(w)
+		if !ok {
+			return
+		}
+		if stolen {
+			st.stats[w].Steals++
+		}
+		st.execute(w, t)
+		st.finish()
+	}
+}
+
+// next returns the worker's next task: its own deque bottom first,
+// then a steal sweep over the other deques starting at its right
+// neighbour. With nothing queued it parks on cond until either new
+// work is pushed or the suite drains (remaining == 0, the only
+// not-ok return).
+func (st *dispatchState) next(w int) (t task, stolen, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if t, ok := st.deques[w].pop(); ok {
+			return t, false, true
+		}
+		for off := 1; off < len(st.deques); off++ {
+			if t, ok := st.deques[(w+off)%len(st.deques)].steal(); ok {
+				return t, true, true
+			}
+		}
+		if st.remaining == 0 {
+			return task{}, false, false
+		}
+		st.cond.Wait()
+	}
+}
+
+// finish retires one task; the last one wakes every parked worker so
+// they can observe the drained suite and exit.
+func (st *dispatchState) finish() {
+	st.mu.Lock()
+	st.remaining--
+	drained := st.remaining == 0
+	st.mu.Unlock()
+	if drained {
+		st.cond.Broadcast()
+	}
+}
+
+// emit serialises event delivery.
+func (st *dispatchState) emit(ev Event) {
+	if st.d.OnEvent == nil {
+		return
+	}
+	st.emitMu.Lock()
+	defer st.emitMu.Unlock()
+	st.d.OnEvent(ev)
+}
+
+// execute runs one task on worker w.
+func (st *dispatchState) execute(w int, t task) {
+	if t.run == planTask {
+		st.stats[w].Plans++
+		st.planJob(w, t.js)
+		return
+	}
+	st.stats[w].Runs++
+	st.runOne(t)
+}
+
+// planJob materialises one job: source-fingerprint cache probe, clean
+// run and fault-list enumeration, plan-fingerprint cache probe, and —
+// on a miss — expansion of the plan's runs onto the worker's own
+// deque, from where idle workers steal them.
+func (st *dispatchState) planJob(w int, js *jobState) {
+	job := js.job
+	cr := &st.res.Campaigns[js.idx]
+	c := job.Build()
+
+	// Source-level probe: a hit replays the campaign without even the
+	// clean run (the fingerprint pins the campaign source instead of
+	// the trace; see inject.SourceFingerprint for the trust caveat).
+	if st.d.Cache != nil {
+		if fp, ok := inject.SourceFingerprint(c, st.d.Engine, job.Name, job.Variant); ok {
+			cr.SourceFingerprint = fp
+			if hit, found := st.d.Cache.Get(fp); found {
+				n := len(hit.Injections)
+				cr.Result = hit
+				cr.Cached = true
+				cr.CachedSource = true
+				st.emit(Event{Kind: EventPlanned, Job: job, Total: n})
+				st.emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
+				return
+			}
+		}
+	}
+
+	plan, err := inject.PrepareWith(c, st.d.Engine)
+	if err != nil {
+		cr.Err = err
+		st.emit(Event{Kind: EventDone, Job: job, Err: err})
+		return
+	}
+	n := plan.NumRuns()
+	st.emit(Event{Kind: EventPlanned, Job: job, Total: n})
+
+	if st.d.Cache != nil {
+		fp := plan.Fingerprint(job.Name, job.Variant)
+		cr.Fingerprint = fp
+		if hit, found := st.d.Cache.Get(fp); found {
+			cr.Result = hit
+			cr.Cached = true
+			// Upgrade stores written before source fingerprinting:
+			// alias the entry under the source address so the next
+			// run skips the clean run too.
+			if cr.SourceFingerprint != "" {
+				cr.CacheErr = st.d.Cache.Put(cr.SourceFingerprint, job.Label(), hit)
+			}
+			st.emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
+			return
+		}
+	}
+
+	js.plan = plan
+	js.out = make([]inject.Injection, n)
+	js.left = n
+	if n == 0 {
+		st.completeJob(js)
+		return
+	}
+	// Push in reverse so the owner's LIFO pops execute in plan order;
+	// thieves steal from the top and take the highest-index runs.
+	st.mu.Lock()
+	for i := n - 1; i >= 0; i-- {
+		st.deques[w].push(task{js: js, run: i})
+	}
+	st.remaining += n
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// runOne executes a single injection run into its plan-order slot and
+// completes the job when it was the last one outstanding.
+func (st *dispatchState) runOne(t task) {
+	js := t.js
+	js.out[t.run] = js.plan.RunOne(t.run)
+	js.mu.Lock()
+	js.done++
+	st.emit(Event{Kind: EventProgress, Job: js.job, Done: js.done, Total: len(js.out)})
+	js.left--
+	last := js.left == 0
+	js.mu.Unlock()
+	if last {
+		st.completeJob(js)
+	}
+}
+
+// completeJob assembles the campaign result in plan order, writes it
+// back to the cache (best effort, under both fingerprints), and emits
+// the done event.
+func (st *dispatchState) completeJob(js *jobState) {
+	cr := &st.res.Campaigns[js.idx]
+	shell := js.plan.Shell()
+	shell.Injections = js.out
+	cr.Result = &shell
+	if st.d.Cache != nil {
+		err := st.d.Cache.Put(cr.Fingerprint, js.job.Label(), &shell)
+		if err == nil && cr.SourceFingerprint != "" {
+			err = st.d.Cache.Put(cr.SourceFingerprint, js.job.Label(), &shell)
+		}
+		cr.CacheErr = err
+	}
+	n := len(js.out)
+	st.emit(Event{Kind: EventDone, Job: js.job, Done: n, Total: n})
+}

@@ -1,0 +1,52 @@
+package sched
+
+// task is one unit of dispatcher work: planning a job (run < 0, the
+// clean run plus fault-list enumeration) or executing a single
+// injection run of an already-planned job.
+type task struct {
+	js  *jobState
+	run int
+}
+
+// planTask marks a task as a job-planning unit.
+const planTask = -1
+
+// deque is one worker's double-ended work queue. The owning worker
+// pushes and pops at the bottom (LIFO, so a job's runs execute with
+// the plan still hot), thieves steal from the top (FIFO, so a steal
+// takes the oldest — typically largest remaining — slice of work).
+//
+// The dispatcher guards every deque with its single coordination
+// mutex rather than per-deque locks: tasks here are whole simulated
+// program executions, milliseconds each, so queue-op contention is
+// noise and the one-lock design keeps the idle/termination protocol
+// (see dispatchState.next) free of lost-wakeup races.
+type deque struct {
+	items []task
+}
+
+// push adds a task at the bottom.
+func (d *deque) push(t task) { d.items = append(d.items, t) }
+
+// pop removes the bottom task (owner side).
+func (d *deque) pop() (task, bool) {
+	n := len(d.items)
+	if n == 0 {
+		return task{}, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = task{} // release the jobState reference
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+// steal removes the top task (thief side).
+func (d *deque) steal() (task, bool) {
+	if len(d.items) == 0 {
+		return task{}, false
+	}
+	t := d.items[0]
+	d.items[0] = task{}
+	d.items = d.items[1:]
+	return t, true
+}

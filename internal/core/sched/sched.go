@@ -1,11 +1,14 @@
 // Package sched executes fault-injection campaigns concurrently. The
 // methodology of Section 3.3 makes every injection run independent —
 // each builds a fresh world through the campaign Factory, perturbs it,
-// and observes the oracle — so a campaign's planned runs fan out across
-// a worker pool, and a whole catalog of campaigns runs as one suite
-// under a global concurrency budget. Results are deterministic: the
-// pool writes each run's outcome into its plan-order slot, so the
-// assembled Result is identical to the sequential engine's.
+// and observes the oracle — so work can be scheduled at run
+// granularity: the suite Dispatcher expands every job into its
+// inject.ExecPlan run units and feeds them through per-worker deques
+// with work stealing, so workers rebalance onto whichever campaign
+// still has runs outstanding instead of idling behind a static
+// partition. Results are deterministic: each run's outcome lands in
+// its plan-order slot, so the assembled Result — and every rendered
+// report — is byte-identical to the sequential engine's.
 package sched
 
 import (

@@ -1,12 +1,6 @@
 package sched
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/core/inject"
-)
+import "repro/internal/core/inject"
 
 // Job is one suite entry: a named campaign variant to schedule.
 type Job struct {
@@ -15,7 +9,7 @@ type Job struct {
 	// Variant labels the program under test ("vulnerable", "fixed").
 	Variant string
 	// Build constructs the campaign. It is invoked once, on a
-	// scheduler goroutine.
+	// dispatcher worker.
 	Build func() inject.Campaign
 }
 
@@ -31,8 +25,9 @@ func (j Job) Label() string {
 type EventKind int
 
 const (
-	// EventPlanned fires after a campaign's clean run and fault-list
-	// enumeration; Total is set.
+	// EventPlanned fires once a campaign's run count is known — after
+	// its clean run and fault-list enumeration, or straight from the
+	// cache on a source-fingerprint hit; Total is set.
 	EventPlanned EventKind = iota + 1
 	// EventProgress fires after each completed injection run.
 	EventProgress
@@ -54,8 +49,9 @@ func (k EventKind) String() string {
 }
 
 // Event is one suite progress notification. Events for a single job
-// arrive in order; events for different jobs interleave. The suite
-// serialises callback invocations, so handlers need no locking.
+// arrive in order; events for different jobs interleave. The
+// dispatcher serialises callback invocations, so handlers need no
+// locking.
 type Event struct {
 	Kind EventKind
 	Job  Job
@@ -68,7 +64,8 @@ type Event struct {
 	Err error
 }
 
-// SuiteOptions parameterises a suite run.
+// SuiteOptions parameterises a suite run. It is the option surface of
+// RunSuite; the fields map one to one onto Dispatcher's.
 type SuiteOptions struct {
 	// Workers is the global concurrency budget shared by every
 	// campaign in the suite. Zero or negative means GOMAXPROCS.
@@ -78,10 +75,8 @@ type SuiteOptions struct {
 	// OnEvent, when non-nil, receives progress events. Calls are
 	// serialised.
 	OnEvent func(Event)
-	// Cache, when non-nil, makes the suite incremental: each job still
-	// plans (the clean run is what the fingerprint hashes), but a job
-	// whose fingerprint is cached replays the stored result instead of
-	// executing its injection runs, and fresh results are written back.
+	// Cache, when non-nil, makes the suite incremental; see
+	// Dispatcher.Cache for the two-level fingerprint protocol.
 	Cache Cache
 }
 
@@ -91,10 +86,17 @@ type CampaignResult struct {
 	Result *inject.Result
 	Err    error
 	// Fingerprint is the job's plan fingerprint. Set only when the
-	// suite ran with a cache.
+	// suite ran with a cache and the job was actually planned (a
+	// source-fingerprint hit skips planning, leaving it empty).
 	Fingerprint string
+	// SourceFingerprint is the job's source fingerprint. Set only when
+	// the suite ran with a cache and the campaign declares a Source.
+	SourceFingerprint string
 	// Cached reports that Result was replayed from the cache.
 	Cached bool
+	// CachedSource reports that the replay hit at the source level —
+	// the campaign skipped even its clean run.
+	CachedSource bool
 	// CacheErr records a failed cache write-back. The run itself
 	// succeeded; the suite treats the cache as best-effort.
 	CacheErr error
@@ -103,6 +105,9 @@ type CampaignResult struct {
 // SuiteResult aggregates a suite run, in job order.
 type SuiteResult struct {
 	Campaigns []CampaignResult
+	// Dispatch describes the scheduling pass that produced the
+	// campaigns. Zero for results assembled by store.MergeShards.
+	Dispatch DispatchStats
 }
 
 // CacheHits counts the campaigns replayed from the cache.
@@ -127,102 +132,18 @@ func (s *SuiteResult) Failed() []CampaignResult {
 	return out
 }
 
-// RunSuite schedules every job's injection runs across a worker pool
-// bounded by opt.Workers. Campaigns plan and execute concurrently with
-// one another, but the total number of in-flight injection runs never
-// exceeds the budget. Per-campaign results are deterministic and equal
-// to sequential inject.RunWith output.
+// RunSuite schedules every job's injection runs across the
+// run-granularity work-stealing dispatcher, bounded by opt.Workers
+// concurrently executing units. Campaigns plan and execute
+// concurrently with one another and runs rebalance across workers,
+// but per-campaign results are deterministic and equal to sequential
+// inject.RunWith output.
 func RunSuite(jobs []Job, opt SuiteOptions) *SuiteResult {
-	res := &SuiteResult{Campaigns: make([]CampaignResult, len(jobs))}
-	budget := opt.Workers
-	if budget <= 0 {
-		budget = runtime.GOMAXPROCS(0)
+	d := &Dispatcher{
+		Workers: opt.Workers,
+		Engine:  opt.Engine,
+		OnEvent: opt.OnEvent,
+		Cache:   opt.Cache,
 	}
-	sem := make(chan struct{}, budget)
-
-	var emitMu sync.Mutex
-	emit := func(ev Event) {
-		if opt.OnEvent == nil {
-			return
-		}
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		opt.OnEvent(ev)
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(len(jobs))
-	for ji := range jobs {
-		go func(ji int) {
-			defer wg.Done()
-			job := jobs[ji]
-			res.Campaigns[ji].Job = job
-
-			sem <- struct{}{}
-			plan, err := inject.PrepareWith(job.Build(), opt.Engine)
-			<-sem
-			if err != nil {
-				res.Campaigns[ji].Err = err
-				emit(Event{Kind: EventDone, Job: job, Err: err})
-				return
-			}
-
-			n := plan.NumRuns()
-			emit(Event{Kind: EventPlanned, Job: job, Total: n})
-
-			var fp string
-			if opt.Cache != nil {
-				fp = plan.Fingerprint(job.Name, job.Variant)
-				res.Campaigns[ji].Fingerprint = fp
-				if hit, ok := opt.Cache.Get(fp); ok {
-					res.Campaigns[ji].Result = hit
-					res.Campaigns[ji].Cached = true
-					emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
-					return
-				}
-			}
-
-			out := make([]inject.Injection, n)
-			w := budget
-			if w > n {
-				w = n
-			}
-			var next atomic.Int64
-			var runWG sync.WaitGroup
-			runWG.Add(w)
-			done := 0
-			var doneMu sync.Mutex
-			for g := 0; g < w; g++ {
-				go func() {
-					defer runWG.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= n {
-							return
-						}
-						sem <- struct{}{}
-						out[i] = plan.RunOne(i)
-						<-sem
-						// Emitting under doneMu keeps a job's progress
-						// counts in order across its workers.
-						doneMu.Lock()
-						done++
-						emit(Event{Kind: EventProgress, Job: job, Done: done, Total: n})
-						doneMu.Unlock()
-					}
-				}()
-			}
-			runWG.Wait()
-
-			shell := plan.Shell()
-			shell.Injections = out
-			res.Campaigns[ji].Result = &shell
-			if opt.Cache != nil {
-				res.Campaigns[ji].CacheErr = opt.Cache.Put(fp, job.Label(), &shell)
-			}
-			emit(Event{Kind: EventDone, Job: job, Done: n, Total: n})
-		}(ji)
-	}
-	wg.Wait()
-	return res
+	return d.Run(jobs)
 }

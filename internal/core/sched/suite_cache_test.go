@@ -3,11 +3,13 @@ package sched_test
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core/inject"
 	"repro/internal/core/sched"
+	"repro/internal/sim/kernel"
 )
 
 // memCache is an in-memory sched.Cache for exercising the suite's cache
@@ -46,9 +48,10 @@ func (m *memCache) Put(fp, label string, res *inject.Result) error {
 }
 
 // TestSuiteCacheColdThenWarm drives the incremental-suite contract: a
-// cold run misses everywhere and writes everything back; an immediate
-// re-run hits everywhere and reproduces the identical campaign results
-// without executing a single injection.
+// cold run misses everywhere and writes everything back under both the
+// plan and the source fingerprint; an immediate re-run hits everywhere
+// at the source level and reproduces the identical campaign results
+// without executing a single injection — or even a clean run.
 func TestSuiteCacheColdThenWarm(t *testing.T) {
 	t.Parallel()
 	jobs := apps.SuiteJobs()[:4]
@@ -58,18 +61,24 @@ func TestSuiteCacheColdThenWarm(t *testing.T) {
 	if hits := cold.CacheHits(); hits != 0 {
 		t.Fatalf("cold run reported %d cache hits", hits)
 	}
-	if cache.puts != len(jobs) {
-		t.Fatalf("cold run wrote %d entries, want %d", cache.puts, len(jobs))
+	// One plan-fingerprint entry plus one source-fingerprint alias per job.
+	if cache.puts != 2*len(jobs) {
+		t.Fatalf("cold run wrote %d entries, want %d", cache.puts, 2*len(jobs))
 	}
 	for _, c := range cold.Campaigns {
 		if c.Fingerprint == "" {
-			t.Errorf("%s: no fingerprint recorded", c.Job.Label())
+			t.Errorf("%s: no plan fingerprint recorded", c.Job.Label())
+		}
+		if c.SourceFingerprint == "" {
+			t.Errorf("%s: no source fingerprint recorded (catalog jobs declare a Source)", c.Job.Label())
 		}
 		if c.CacheErr != nil {
 			t.Errorf("%s: cache write-back failed: %v", c.Job.Label(), c.CacheErr)
 		}
-		if got := cache.lastPuts[c.Fingerprint]; got != c.Job.Label() {
-			t.Errorf("entry for %s labelled %q", c.Job.Label(), got)
+		for _, fp := range []string{c.Fingerprint, c.SourceFingerprint} {
+			if got := cache.lastPuts[fp]; got != c.Job.Label() {
+				t.Errorf("entry for %s labelled %q", c.Job.Label(), got)
+			}
 		}
 	}
 
@@ -87,8 +96,14 @@ func TestSuiteCacheColdThenWarm(t *testing.T) {
 		if !w.Cached {
 			t.Errorf("%s: not marked cached", w.Job.Label())
 		}
-		if w.Fingerprint != c.Fingerprint {
-			t.Errorf("%s: fingerprint changed between runs", w.Job.Label())
+		if !w.CachedSource {
+			t.Errorf("%s: warm hit did not replay at the source level", w.Job.Label())
+		}
+		if w.Fingerprint != "" {
+			t.Errorf("%s: source-level hit still computed a plan fingerprint (ran the clean run?)", w.Job.Label())
+		}
+		if w.SourceFingerprint != c.SourceFingerprint {
+			t.Errorf("%s: source fingerprint changed between runs", w.Job.Label())
 		}
 		if !reflect.DeepEqual(w.Result.Injections, c.Result.Injections) {
 			t.Errorf("%s: replayed injections diverge from the cold run", w.Job.Label())
@@ -133,6 +148,80 @@ func TestSuiteCacheWriteBackFailureIsBestEffort(t *testing.T) {
 	}
 	if c.CacheErr != errTest {
 		t.Errorf("CacheErr = %v, want the put error", c.CacheErr)
+	}
+}
+
+// TestSuiteCacheSourceHitSkipsCleanRun pins the whole point of source
+// fingerprinting: on a warm cache the campaign's world factory is never
+// invoked — the clean run is skipped along with the injection runs.
+func TestSuiteCacheSourceHitSkipsCleanRun(t *testing.T) {
+	t.Parallel()
+	spec, err := apps.Lookup("lpr-create-site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	job := sched.Job{Name: spec.Name, Variant: "vulnerable", Build: func() inject.Campaign {
+		c := spec.Vulnerable()
+		c.Source = "lpr-create-site@test/vulnerable"
+		world := c.World
+		c.World = func() (*kernel.Kernel, inject.Launch) {
+			builds.Add(1)
+			return world()
+		}
+		return c
+	}}
+	cache := newMemCache()
+
+	cold := sched.RunSuite([]sched.Job{job}, sched.SuiteOptions{Workers: 2, Cache: cache})
+	if cold.Campaigns[0].Err != nil {
+		t.Fatal(cold.Campaigns[0].Err)
+	}
+	coldBuilds := builds.Load()
+	if coldBuilds == 0 {
+		t.Fatal("cold run never built a world")
+	}
+
+	builds.Store(0)
+	warm := sched.RunSuite([]sched.Job{job}, sched.SuiteOptions{Workers: 2, Cache: cache})
+	c := warm.Campaigns[0]
+	if !c.Cached || !c.CachedSource {
+		t.Fatalf("warm run not a source-level hit: %+v", c)
+	}
+	if got := builds.Load(); got != 0 {
+		t.Errorf("warm run built %d worlds; a source hit must skip even the clean run", got)
+	}
+	if !reflect.DeepEqual(c.Result.Injections, cold.Campaigns[0].Result.Injections) {
+		t.Error("replayed injections diverge from the cold run")
+	}
+}
+
+// TestSuiteCacheSourcelessJobFallsBack keeps the PR 2 contract for
+// campaigns that declare no Source: they plan every run, hit at the
+// plan fingerprint, and never gain a source fingerprint.
+func TestSuiteCacheSourcelessJobFallsBack(t *testing.T) {
+	t.Parallel()
+	spec, err := apps.Lookup("lpr-create-site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := sched.Job{Name: spec.Name, Variant: "vulnerable", Build: spec.Vulnerable}
+	cache := newMemCache()
+
+	cold := sched.RunSuite([]sched.Job{job}, sched.SuiteOptions{Workers: 2, Cache: cache})
+	if c := cold.Campaigns[0]; c.SourceFingerprint != "" || c.Fingerprint == "" {
+		t.Fatalf("sourceless cold campaign fingerprints = (%q, %q)", c.Fingerprint, c.SourceFingerprint)
+	}
+	if cache.puts != 1 {
+		t.Fatalf("sourceless cold run wrote %d entries, want 1", cache.puts)
+	}
+	warm := sched.RunSuite([]sched.Job{job}, sched.SuiteOptions{Workers: 2, Cache: cache})
+	c := warm.Campaigns[0]
+	if !c.Cached || c.CachedSource {
+		t.Fatalf("sourceless warm campaign = %+v, want a plan-level hit", c)
+	}
+	if c.Fingerprint != cold.Campaigns[0].Fingerprint {
+		t.Error("plan fingerprint changed between runs")
 	}
 }
 

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/sched"
+)
+
+// Transport is the suite runner's access to one result store, local or
+// remote: the sched.Cache surface the dispatcher consults, plus shard-
+// artifact publication for distributed `-shard` runs. *Store implements
+// it over a directory on local disk; *Client implements it over HTTP
+// against the server `eptest -serve-cache` exposes, so shard runners on
+// different machines share one cache and one merge point.
+type Transport interface {
+	sched.Cache
+	// WriteShard publishes one shard's suite result as a mergeable
+	// artifact; see (*Store).WriteShard for the partition contract.
+	WriteShard(sp sched.ShardSpec, catalog []string, indices []int, sr *sched.SuiteResult) error
+}
+
+var (
+	_ Transport = (*Store)(nil)
+	_ Transport = (*Client)(nil)
+)
+
+// The cache server's HTTP surface (docs/DISTRIBUTED.md spells out the
+// schema and failure semantics):
+//
+//	GET /v1/meta            -> {"store": FormatVersion, "engine": inject.EngineVersion}
+//	GET /v1/campaigns/{fp}  -> cache-entry JSON, or 404 on a miss
+//	PUT /v1/campaigns/{fp}  <- cache-entry JSON; 204 on success
+//	PUT /v1/shards/{k}-of-{n} <- shard-artifact JSON; 204 on success
+const (
+	metaPath      = "/v1/meta"
+	campaignsPath = "/v1/campaigns/"
+	shardsPath    = "/v1/shards/"
+)
+
+// Server exposes a Store over HTTP. The wire format of every body is
+// exactly the store's on-disk form — a GET streams the stored entry
+// bytes, a PUT is validated and re-encoded through the same canonical
+// codec the local store writes — so a store populated through the
+// server is indistinguishable from one populated locally, and `eptest
+// -merge` on the server's directory merges remote shards unchanged.
+type Server struct {
+	st  *Store
+	mux *http.ServeMux
+}
+
+// NewServer returns an http.Handler serving st.
+func NewServer(st *Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET "+metaPath, s.meta)
+	s.mux.HandleFunc("GET "+campaignsPath+"{fp}", s.getCampaign)
+	s.mux.HandleFunc("PUT "+campaignsPath+"{fp}", s.putCampaign)
+	s.mux.HandleFunc("PUT "+shardsPath+"{spec}", s.putShard)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// meta reports the server's format and engine versions, so operators
+// (and the CI smoke job) can probe liveness and compatibility.
+func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{
+		"store":  FormatVersion,
+		"engine": inject.EngineVersion,
+	})
+}
+
+// validFingerprint reports whether fp has the only shape either
+// address space produces: 64 lowercase hex characters. Both handlers
+// gate on it BEFORE the fingerprint reaches a filesystem path —
+// ServeMux decodes %2F after pattern matching, so an unchecked
+// PathValue can smuggle "../" segments out of the store directory.
+func validFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// getCampaign streams the stored entry for a fingerprint. Misses are
+// 404s (a malformed fingerprint cannot name an entry, so it is one
+// too); the client turns any non-200 into a cache miss, so a confused
+// or mismatched server only ever costs a re-run, never correctness.
+func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		http.Error(w, "malformed fingerprint", http.StatusNotFound)
+		return
+	}
+	b, err := os.ReadFile(s.st.entryPath(fp))
+	if err != nil {
+		http.Error(w, "no entry for "+fp, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// putCampaign validates and persists an uploaded cache entry. The body
+// must be a well-formed entry whose versions match the server's and
+// whose fingerprint matches the URL; anything else is rejected so one
+// misbuilt worker cannot poison the shared store.
+func (s *Server) putCampaign(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !validFingerprint(fp) {
+		http.Error(w, "malformed fingerprint (want 64 hex chars)", http.StatusBadRequest)
+		return
+	}
+	var e entry
+	if err := decodeBody(w, r, &e); err != nil {
+		return
+	}
+	if e.Store != FormatVersion || e.Engine != inject.EngineVersion {
+		http.Error(w, fmt.Sprintf("entry written by %s/%s, server is %s/%s",
+			e.Store, e.Engine, FormatVersion, inject.EngineVersion), http.StatusConflict)
+		return
+	}
+	if e.Fingerprint != fp || e.Result == nil {
+		http.Error(w, "entry fingerprint does not match URL, or result missing", http.StatusBadRequest)
+		return
+	}
+	if err := s.st.Put(fp, e.Label, fromWire(e.Result)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// putShard validates and persists an uploaded shard artifact at the
+// coordinates named in the URL.
+func (s *Server) putShard(w http.ResponseWriter, r *http.Request) {
+	var sp sched.ShardSpec
+	if _, err := fmt.Sscanf(r.PathValue("spec"), "%d-of-%d", &sp.K, &sp.N); err != nil || sp.N < 1 || sp.K < 1 || sp.K > sp.N {
+		http.Error(w, "malformed shard coordinates (want {k}-of-{n})", http.StatusBadRequest)
+		return
+	}
+	var f shardFile
+	if err := decodeBody(w, r, &f); err != nil {
+		return
+	}
+	if f.Store != FormatVersion || f.Engine != inject.EngineVersion {
+		http.Error(w, fmt.Sprintf("artifact written by %s/%s, server is %s/%s",
+			f.Store, f.Engine, FormatVersion, inject.EngineVersion), http.StatusConflict)
+		return
+	}
+	if f.Shard != sp.K || f.Of != sp.N || f.TotalJobs != len(f.Catalog) {
+		http.Error(w, "artifact coordinates or catalog do not match URL", http.StatusBadRequest)
+		return
+	}
+	b, err := json.Marshal(&f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := s.st.writeAtomic(s.st.shardPath(sp), b); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxBodyBytes bounds uploads; the largest catalog campaigns serialise
+// to tens of kilobytes, so 256 MiB is generous headroom, not a limit
+// anyone should meet.
+const maxBodyBytes = 256 << 20
+
+// decodeBody JSON-decodes a bounded request body, writing the HTTP
+// error itself so handlers can simply return.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return err
+	}
+	return nil
+}
+
+// Client is the HTTP cache transport: a sched.Cache (and Transport)
+// whose entries live in a remote `eptest -serve-cache` store. Gets
+// degrade to misses on any failure — network errors, version skew, a
+// stopped server — because the caller's fallback (running the
+// campaign) is always correct; Puts and WriteShard report errors,
+// which the suite already treats as best-effort (CacheErr) or fatal
+// (shard publication) respectively.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial validates a cache-server URL and returns a client for it. The
+// URL must be absolute with an http or https scheme and a host, e.g.
+// "http://10.0.0.7:7077". No connection is attempted — a server that
+// is down manifests as cache misses, not a dial error.
+func Dial(rawURL string) (*Client, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("store: cache URL %q: %v", rawURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("store: cache URL %q must be absolute http(s)://host[:port]", rawURL)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return nil, fmt.Errorf("store: cache URL %q must not carry a query or fragment", rawURL)
+	}
+	return &Client{
+		base: strings.TrimSuffix(u.String(), "/"),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// Base returns the server URL the client was dialled with.
+func (c *Client) Base() string { return c.base }
+
+// Get fetches the entry cached under the fingerprint. Every failure —
+// transport, status, decode, or a validation the local store would
+// also reject — is a miss.
+func (c *Client) Get(fp string) (*inject.Result, bool) {
+	resp, err := c.hc.Get(c.base + campaignsPath + url.PathEscape(fp))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, false
+	}
+	if e.Store != FormatVersion || e.Engine != inject.EngineVersion || e.Fingerprint != fp || e.Result == nil {
+		return nil, false
+	}
+	return fromWire(e.Result), true
+}
+
+// Put uploads a freshly computed result under its fingerprint.
+func (c *Client) Put(fp, label string, res *inject.Result) error {
+	e := entry{
+		Store:       FormatVersion,
+		Engine:      inject.EngineVersion,
+		Fingerprint: fp,
+		Label:       label,
+		Result:      toWire(res),
+	}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", fp, err)
+	}
+	return c.put(campaignsPath+url.PathEscape(fp), b)
+}
+
+// WriteShard uploads one shard's suite result; the server persists it
+// next to locally written artifacts, ready for `eptest -merge` on the
+// server's store directory.
+func (c *Client) WriteShard(sp sched.ShardSpec, catalog []string, indices []int, sr *sched.SuiteResult) error {
+	f, err := buildShardFile(sp, catalog, indices, sr)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("store: encode shard %s: %w", sp, err)
+	}
+	return c.put(fmt.Sprintf("%s%d-of-%d", shardsPath, sp.K, sp.N), b)
+}
+
+// put issues one PUT and normalises non-2xx statuses into errors that
+// carry the server's diagnostic.
+func (c *Client) put(path string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("store: PUT %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

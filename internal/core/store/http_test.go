@@ -1,0 +1,320 @@
+package store_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core/sched"
+	"repro/internal/core/store"
+)
+
+// dialTestServer starts a cache server over a fresh store and returns
+// a client dialled at it plus the backing store.
+func dialTestServer(t *testing.T) (*store.Client, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.NewServer(st))
+	t.Cleanup(srv.Close)
+	cl, err := store.Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, st
+}
+
+// TestDialValidation pins the URL errors the CLI surfaces for a
+// malformed -cache-url.
+func TestDialValidation(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []string{
+		"", "10.0.0.7:7077", "ftp://host/", "http://", "://x",
+		"http://host/?q=1", "http://host/#frag",
+	} {
+		if _, err := store.Dial(bad); err == nil {
+			t.Errorf("Dial(%q) succeeded, want error", bad)
+		}
+	}
+	cl, err := store.Dial("http://127.0.0.1:7077/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Base() != "http://127.0.0.1:7077" {
+		t.Errorf("Base() = %q, want trailing slash trimmed", cl.Base())
+	}
+}
+
+// TestClientRoundTrip pushes a real campaign result through the HTTP
+// transport and back: the replay must match field for field, and the
+// remote store must be indistinguishable from a locally written one.
+func TestClientRoundTrip(t *testing.T) {
+	t.Parallel()
+	cl, st := dialTestServer(t)
+	res, fp := runLpr(t)
+
+	if _, ok := cl.Get(fp); ok {
+		t.Fatal("Get on an empty store hit")
+	}
+	if err := cl.Put(fp, "lpr/vulnerable", res); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := cl.Get(fp)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !reflect.DeepEqual(got.Injections, res.Injections) {
+		t.Error("injections diverge through the HTTP transport")
+	}
+	if got.Metric() != res.Metric() {
+		t.Errorf("metric diverges: %+v != %+v", got.Metric(), res.Metric())
+	}
+	wantB, err := store.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := store.EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantB) != string(gotB) {
+		t.Error("canonical encoding not byte-identical through the transport")
+	}
+
+	// The server's backing store holds the entry like a local write.
+	local, ok := st.Get(fp)
+	if !ok {
+		t.Fatal("server's local store misses the uploaded entry")
+	}
+	if !reflect.DeepEqual(local.Injections, res.Injections) {
+		t.Error("server-side entry diverges from the upload")
+	}
+}
+
+// TestClientShardUpload runs a two-shard suite through the HTTP
+// transport and merges on the server's store — the distributed flow of
+// docs/DISTRIBUTED.md in miniature.
+func TestClientShardUpload(t *testing.T) {
+	t.Parallel()
+	cl, st := dialTestServer(t)
+
+	jobs := apps.SuiteJobs()[:4]
+	catalog := make([]string, len(jobs))
+	for i, j := range jobs {
+		catalog[i] = j.Label()
+	}
+	full := sched.RunSuite(jobs, sched.SuiteOptions{Workers: 4})
+
+	for k := 1; k <= 2; k++ {
+		sp := sched.ShardSpec{K: k, N: 2}
+		shardJobs, indices := sched.ShardJobs(jobs, sp)
+		sr := sched.RunSuite(shardJobs, sched.SuiteOptions{Workers: 4, Cache: cl})
+		if len(sr.Failed()) != 0 {
+			t.Fatalf("shard %s failed: %v", sp, sr.Failed())
+		}
+		if err := cl.WriteShard(sp, catalog, indices, sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, infos, err := st.MergeShards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("merged %d artifacts, want 2", len(infos))
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(merged.Campaigns[i].Result.Injections, full.Campaigns[i].Result.Injections) {
+			t.Errorf("%s: merged result diverges from the unsharded run", jobs[i].Label())
+		}
+	}
+}
+
+// TestClientDegradesToMisses pins the failure semantics: with the
+// server gone, Get is a miss and Put is an error — never a hang or a
+// panic, so a dead cache only costs re-execution.
+func TestClientDegradesToMisses(t *testing.T) {
+	t.Parallel()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.NewServer(st))
+	cl, err := store.Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	res, fp := runLpr(t)
+	if _, ok := cl.Get(fp); ok {
+		t.Error("Get against a dead server hit")
+	}
+	if err := cl.Put(fp, "lpr/vulnerable", res); err == nil {
+		t.Error("Put against a dead server succeeded")
+	}
+}
+
+// TestServerRejectsMismatchedUploads pins the poisoning guards: a body
+// whose fingerprint disagrees with the URL, garbage JSON, and shard
+// coordinates that disagree with the URL are all rejected without
+// touching the store.
+func TestServerRejectsMismatchedUploads(t *testing.T) {
+	t.Parallel()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.NewServer(st))
+	t.Cleanup(srv.Close)
+	cl, err := store.Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fp := runLpr(t)
+
+	// A well-formed entry uploaded under the wrong URL fingerprint.
+	if err := cl.Put(fp, "lpr/vulnerable", res); err != nil {
+		t.Fatal(err)
+	}
+	good, err := store.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct{ path, body string }{
+		"fp mismatch":    {"/v1/campaigns/deadbeef", mustEntryJSON(t, st, fp)},
+		"garbage":        {"/v1/campaigns/deadbeef", "{not json"},
+		"bare result":    {"/v1/campaigns/deadbeef", string(good)},
+		"shard mismatch": {"/v1/shards/2-of-3", mustShardJSON(t)},
+		"shard garbage":  {"/v1/shards/1-of-2", "{not json"},
+		"shard bad path": {"/v1/shards/0-of-0", mustShardJSON(t)},
+	} {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			t.Errorf("%s: accepted with %s, want rejection", name, resp.Status)
+		}
+	}
+	if _, ok := st.Get("deadbeef"); ok {
+		t.Error("a rejected upload reached the store")
+	}
+}
+
+// TestServerRejectsPathTraversal pins the fingerprint gate: ServeMux
+// decodes %2F after routing, so "../" can reach PathValue — the
+// handlers must reject anything that is not 64 hex chars before it
+// touches a filesystem path, on both the read and the write side.
+func TestServerRejectsPathTraversal(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := filepath.Join(dir, "secret.json")
+	if err := os.WriteFile(secret, []byte(`{"top":"secret"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.NewServer(st))
+	t.Cleanup(srv.Close)
+
+	// Reads must not escape the store directory.
+	for _, fp := range []string{
+		"..%2F..%2Fsecret",
+		"..%2F..%2F..%2Fsecret",
+		strings.Repeat("A", 64), // right length, wrong alphabet
+		"abc",                   // wrong length
+	} {
+		resp, err := http.Get(srv.URL + "/v1/campaigns/" + fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s = 200, want rejection", fp)
+		}
+	}
+
+	// Writes must not land outside the store directory either.
+	res, fp := runLpr(t)
+	cl, err := store.Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(fp, "lpr/vulnerable", res); err != nil {
+		t.Fatal(err)
+	}
+	body := mustEntryJSON(t, st, fp)
+	evil := strings.NewReplacer(fp, "../../../planted").Replace(body)
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/campaigns/..%2F..%2F..%2Fplanted", strings.NewReader(evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		t.Fatalf("traversal PUT accepted with %s", resp.Status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "planted.json")); err == nil {
+		t.Error("traversal PUT planted a file outside the store")
+	}
+}
+
+// mustEntryJSON reads back the raw stored entry for fp, to replay it
+// under a different URL.
+func mustEntryJSON(t *testing.T, st *store.Store, fp string) string {
+	t.Helper()
+	srv := httptest.NewServer(store.NewServer(st))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/campaigns/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// mustShardJSON uploads a valid one-job shard to a scratch server and
+// returns its artifact bytes, for replaying at wrong coordinates.
+func mustShardJSON(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runLpr(t)
+	sr := &sched.SuiteResult{Campaigns: []sched.CampaignResult{{Job: sched.Job{Name: "lpr", Variant: "vulnerable"}, Result: res}}}
+	if err := st.WriteShard(sched.ShardSpec{K: 1, N: 2}, []string{"lpr/vulnerable", "other"}, []int{0}, sr); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "shards", "shard-1-of-2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

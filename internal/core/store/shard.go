@@ -37,13 +37,15 @@ type shardFile struct {
 // shardJob is one job's outcome inside a shard artifact.
 type shardJob struct {
 	// Index is the job's position in the full job list — the merge key.
-	Index       int           `json:"index"`
-	Name        string        `json:"name"`
-	Variant     string        `json:"variant,omitempty"`
-	Fingerprint string        `json:"fingerprint,omitempty"`
-	Cached      bool          `json:"cached,omitempty"`
-	Err         string        `json:"err,omitempty"`
-	Result      *wireCampaign `json:"result,omitempty"`
+	Index             int           `json:"index"`
+	Name              string        `json:"name"`
+	Variant           string        `json:"variant,omitempty"`
+	Fingerprint       string        `json:"fingerprint,omitempty"`
+	SourceFingerprint string        `json:"source_fingerprint,omitempty"`
+	Cached            bool          `json:"cached,omitempty"`
+	CachedSource      bool          `json:"cached_source,omitempty"`
+	Err               string        `json:"err,omitempty"`
+	Result            *wireCampaign `json:"result,omitempty"`
 }
 
 // ShardInfo describes one merged artifact, for reports.
@@ -61,16 +63,14 @@ func (s *Store) shardPath(sp sched.ShardSpec) string {
 	return filepath.Join(s.dir, shardDir, fmt.Sprintf("shard-%d-of-%d.json", sp.K, sp.N))
 }
 
-// WriteShard persists one shard's suite result as a mergeable artifact.
-// catalog is the label of every job in the full, unsharded list; sr
-// must be the result of running exactly the jobs ShardJobs selected for
-// sp out of that list, and indices their global positions (the second
-// ShardJobs return).
-func (s *Store) WriteShard(sp sched.ShardSpec, catalog []string, indices []int, sr *sched.SuiteResult) error {
+// buildShardFile assembles the mergeable artifact for one shard's
+// suite result — shared by the local Store and the HTTP Client, so
+// both transports publish the identical wire form.
+func buildShardFile(sp sched.ShardSpec, catalog []string, indices []int, sr *sched.SuiteResult) (*shardFile, error) {
 	if len(indices) != len(sr.Campaigns) {
-		return fmt.Errorf("store: shard %s: %d indices for %d campaigns", sp, len(indices), len(sr.Campaigns))
+		return nil, fmt.Errorf("store: shard %s: %d indices for %d campaigns", sp, len(indices), len(sr.Campaigns))
 	}
-	f := shardFile{
+	f := &shardFile{
 		Store:     FormatVersion,
 		Engine:    inject.EngineVersion,
 		Shard:     sp.K,
@@ -81,11 +81,13 @@ func (s *Store) WriteShard(sp sched.ShardSpec, catalog []string, indices []int, 
 	}
 	for i, c := range sr.Campaigns {
 		j := shardJob{
-			Index:       indices[i],
-			Name:        c.Job.Name,
-			Variant:     c.Job.Variant,
-			Fingerprint: c.Fingerprint,
-			Cached:      c.Cached,
+			Index:             indices[i],
+			Name:              c.Job.Name,
+			Variant:           c.Job.Variant,
+			Fingerprint:       c.Fingerprint,
+			SourceFingerprint: c.SourceFingerprint,
+			Cached:            c.Cached,
+			CachedSource:      c.CachedSource,
 		}
 		if c.Err != nil {
 			j.Err = c.Err.Error()
@@ -95,7 +97,20 @@ func (s *Store) WriteShard(sp sched.ShardSpec, catalog []string, indices []int, 
 		}
 		f.Jobs[i] = j
 	}
-	b, err := json.Marshal(&f)
+	return f, nil
+}
+
+// WriteShard persists one shard's suite result as a mergeable artifact.
+// catalog is the label of every job in the full, unsharded list; sr
+// must be the result of running exactly the jobs ShardJobs selected for
+// sp out of that list, and indices their global positions (the second
+// ShardJobs return).
+func (s *Store) WriteShard(sp sched.ShardSpec, catalog []string, indices []int, sr *sched.SuiteResult) error {
+	f, err := buildShardFile(sp, catalog, indices, sr)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(f)
 	if err != nil {
 		return fmt.Errorf("store: encode shard %s: %w", sp, err)
 	}
@@ -168,9 +183,11 @@ func (s *Store) MergeShards() (*sched.SuiteResult, []ShardInfo, error) {
 			}
 			seen[j.Index] = path
 			c := sched.CampaignResult{
-				Job:         sched.Job{Name: j.Name, Variant: j.Variant},
-				Fingerprint: j.Fingerprint,
-				Cached:      j.Cached,
+				Job:               sched.Job{Name: j.Name, Variant: j.Variant},
+				Fingerprint:       j.Fingerprint,
+				SourceFingerprint: j.SourceFingerprint,
+				Cached:            j.Cached,
+				CachedSource:      j.CachedSource,
 			}
 			if j.Err != "" {
 				c.Err = errors.New(j.Err)
