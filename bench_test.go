@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/ftpget"
 	"repro/internal/apps/lpr"
 	"repro/internal/apps/maildrop"
+	"repro/internal/apps/matrix"
 	"repro/internal/apps/ntreg"
 	"repro/internal/apps/turnin"
 	"repro/internal/baseline/ava"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/core/policy"
 	"repro/internal/core/report"
 	"repro/internal/core/sched"
+	"repro/internal/core/store"
 	"repro/internal/interpose"
 	"repro/internal/sim/proc"
 	"repro/internal/vulndb"
@@ -571,6 +573,53 @@ func BenchmarkSuiteStaticShards(b *testing.B) {
 		violations = total
 	}
 	b.ReportMetric(float64(violations), "violations")
+}
+
+// BenchmarkSuiteMatrix runs the expanded campaign matrix — option
+// sweeps, site cuts, and multi-site compositions, an order of
+// magnitude beyond the base catalog — through the work-stealing
+// dispatcher at full width, cold and then against a warm result
+// store: the catalog size the dispatcher and cache were built for.
+// The warm pass must replay every cell (100% hits) or the fingerprint
+// independence of the matrix cells has broken.
+func BenchmarkSuiteMatrix(b *testing.B) {
+	jobs := matrix.SuiteJobs()
+	if len(jobs) < 10*len(apps.SuiteJobs()) {
+		b.Fatalf("matrix emits %d jobs, want >= 10x the base catalog", len(jobs))
+	}
+	b.Run("cold", func(b *testing.B) {
+		var runs int
+		for i := 0; i < b.N; i++ {
+			sr := sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0)})
+			runs = 0
+			for _, c := range sr.Campaigns {
+				if c.Err != nil {
+					b.Fatalf("%s: %v", c.Job.Label(), c.Err)
+				}
+				runs += len(c.Result.Injections)
+			}
+		}
+		b.ReportMetric(float64(len(jobs)), "campaigns")
+		b.ReportMetric(float64(runs), "runs")
+	})
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0), Cache: st})
+		if len(seed.Failed()) != 0 {
+			b.Fatalf("seed run failed: %v", seed.Failed())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sr := sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0), Cache: st})
+			if hits := sr.CacheHits(); hits != len(jobs) {
+				b.Fatalf("warm pass replayed %d/%d campaigns", hits, len(jobs))
+			}
+		}
+		b.ReportMetric(float64(len(jobs)), "campaigns")
+	})
 }
 
 // BenchmarkInterpositionOverhead measures the cost the bus adds per

@@ -18,12 +18,19 @@
 // and -cache-url points shard workers on other machines at it, so they
 // share one cache and publish their artifacts to one merge point.
 //
+// Suite runs scale beyond the base catalog through the campaign matrix
+// (see docs/ARCHITECTURE.md): -matrix expands every application into a
+// deterministic grid of engine-option sweeps, site cuts, and multi-site
+// compositions — an order of magnitude more campaigns — and prints a
+// per-axis rollup after the suite report; -filter GLOB narrows any
+// suite run to the jobs whose name/variant label matches.
+//
 // Usage:
 //
 //	eptest -list
 //	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
-//	eptest -all [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n]
-//	eptest -merge DIR
+//	eptest -all [-matrix] [-filter GLOB] [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n]
+//	eptest -merge DIR [-matrix]
 //	eptest -serve-cache ADDR -cache DIR
 package main
 
@@ -36,6 +43,7 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/apps/matrix"
 	"repro/internal/core/inject"
 	"repro/internal/core/report"
 	"repro/internal/core/sched"
@@ -53,6 +61,11 @@ type suiteConfig struct {
 	cacheDir string
 	cacheURL string
 	shard    string
+	// matrix selects the expanded campaign matrix instead of the base
+	// catalog and adds the per-axis rollup to the report.
+	matrix bool
+	// filter narrows the suite to jobs whose label matches the glob.
+	filter string
 	// tty enables the live progress renderer; run() sets it when
 	// stdout is a terminal and -v is off.
 	tty bool
@@ -72,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache      = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose fingerprint is cached")
 		cacheURL   = fs.String("cache-url", "", "with -all: remote cache server URL (a running `eptest -serve-cache`)")
 		shard      = fs.String("shard", "", "with -all and a cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
+		matrix     = fs.Bool("matrix", false, "with -all: run the expanded campaign matrix (option sweeps, site cuts, multi-site compositions) instead of the base catalog; with -merge: render the per-axis rollup")
+		filter     = fs.String("filter", "", "with -all: run only jobs whose \"name/variant\" label matches GLOB ('*' crosses the separator, e.g. 'lpr*' or '*+nodedup*')")
 		merge      = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
 		serveCache = fs.String("serve-cache", "", "serve the -cache store over HTTP at ADDR (e.g. :7077) for -cache-url workers")
 	)
@@ -84,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *serveCache != "" {
-		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" {
+		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *matrix || *filter != "" {
 			fmt.Fprintln(stderr, "eptest: -serve-cache runs alone with -cache DIR (no -list/-all/-campaign/-merge/-shard/-cache-url); start workers separately with -cache-url")
 			return 2
 		}
@@ -95,11 +110,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runServeCache(*serveCache, *cache, stdout, stderr)
 	}
 	if *merge != "" {
-		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" {
-			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url)")
+		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" || *filter != "" {
+			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url/-filter)")
 			return 2
 		}
-		return runMerge(*merge, stdout, stderr)
+		return runMerge(*merge, *matrix, stdout, stderr)
 	}
 	if *list {
 		fmt.Fprintln(stdout, "available campaigns:")
@@ -115,12 +130,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cacheDir: *cache,
 			cacheURL: *cacheURL,
 			shard:    *shard,
+			matrix:   *matrix,
+			filter:   *filter,
 			tty:      !*verbose && isTerminal(stdout),
 		}
 		return runSuite(cfg, stdout, stderr)
 	}
-	if *shard != "" || *cache != "" || *cacheURL != "" {
-		fmt.Fprintln(stderr, "eptest: -cache, -cache-url and -shard require -all")
+	if *shard != "" || *cache != "" || *cacheURL != "" || *matrix || *filter != "" {
+		fmt.Fprintln(stderr, "eptest: -cache, -cache-url, -shard and -filter require -all; -matrix requires -all or -merge")
 		return 2
 	}
 	if *campaign == "" {
@@ -213,6 +230,20 @@ func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string,
 // and shard sections follow.
 func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	jobs := apps.SuiteJobs()
+	if cfg.matrix {
+		jobs = matrix.SuiteJobs()
+	}
+	if cfg.filter != "" {
+		jobs = sched.FilterJobs(jobs, cfg.filter)
+		if len(jobs) == 0 {
+			fmt.Fprintf(stderr, "eptest: -filter %q selects zero jobs; try a broader glob (see -list, or -matrix labels like \"lpr/vulnerable+nodedup\")\n", cfg.filter)
+			return 2
+		}
+	}
+	// The shard partition — and the catalog its artifact records — is
+	// over the filtered job list, so every shard of one merge must be
+	// produced with the same -matrix and -filter flags; the merge's
+	// catalog check rejects mixtures.
 	catalog := make([]string, len(jobs))
 	for i, j := range jobs {
 		catalog[i] = j.Label()
@@ -237,6 +268,10 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			return 2
 		}
 		jobs, indices = sched.ShardJobs(jobs, spec)
+		if len(jobs) == 0 {
+			fmt.Fprintf(stderr, "eptest: shard %s of the %d-job catalog selects zero jobs; lower n or broaden -filter\n", spec, len(catalog))
+			return 2
+		}
 	}
 
 	opt := sched.SuiteOptions{Workers: cfg.workers}
@@ -272,6 +307,10 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	fmt.Fprint(stdout, report.SuiteRun(sr))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
+	if cfg.matrix {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.Matrix(sr))
+	}
 	if tr != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.CacheStats(sr))
@@ -295,8 +334,10 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 
 // runMerge recombines the shard artifacts under dir into one suite
 // report — byte-identical, up to the trailing merged-shard section, to
-// the report an unsharded -all run over the same catalog prints.
-func runMerge(dir string, stdout, stderr io.Writer) int {
+// the report an unsharded -all run over the same catalog prints. With
+// matrix set (shards produced by -matrix workers), the per-axis rollup
+// is rendered in its unsharded position too.
+func runMerge(dir string, matrix bool, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
@@ -310,6 +351,10 @@ func runMerge(dir string, stdout, stderr io.Writer) int {
 	fmt.Fprint(stdout, report.SuiteRun(sr))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
+	if matrix {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.Matrix(sr))
+	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.MergedShards(infos))
 	if len(sr.Failed()) > 0 {

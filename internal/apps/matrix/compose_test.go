@@ -1,0 +1,156 @@
+package matrix_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/matrix"
+	"repro/internal/core/inject"
+)
+
+// TestComposedCleanRuns verifies every multi-site composition the
+// matrix ships survives its clean run in both program variants and
+// exposes interaction points from every member — the property that
+// makes it a genuine multi-app campaign rather than a renamed solo
+// one.
+func TestComposedCleanRuns(t *testing.T) {
+	t.Parallel()
+	for _, spec := range matrix.PairSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			members := strings.Split(spec.Name, "+")
+			for _, build := range map[string]func() inject.Campaign{
+				"vulnerable": spec.Vulnerable, "fixed": spec.Fixed,
+			} {
+				plan, err := inject.PrepareWith(build(), inject.Options{})
+				if err != nil {
+					t.Fatalf("clean run failed: %v", err)
+				}
+				shell := plan.Shell()
+				for _, member := range members {
+					found := false
+					for _, site := range shell.TotalSites {
+						if strings.HasPrefix(site, member+":") {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("trace has no %s: sites; members did not compose (sites: %v)", member, shell.TotalSites)
+					}
+				}
+				if plan.NumRuns() == 0 {
+					t.Errorf("composition plans zero injection runs")
+				}
+			}
+		})
+	}
+}
+
+// TestComposedSuperset verifies a composition's injection surface
+// dominates its first member's: every point the solo lpr campaign
+// perturbs is perturbed by lpr+turnin too (same world prefix, same
+// site filter semantics).
+func TestComposedSuperset(t *testing.T) {
+	t.Parallel()
+	lpr, err := apps.Lookup("lpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	turnin, err := apps.Lookup("turnin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := inject.Run(lpr.Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := matrix.Compose(lpr, turnin)
+	both, err := inject.Run(pair.Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := map[string]bool{}
+	for _, s := range both.PerturbedSites {
+		perturbed[s] = true
+	}
+	for _, s := range solo.PerturbedSites {
+		if !perturbed[s] {
+			t.Errorf("composition does not perturb solo site %s", s)
+		}
+	}
+	if len(both.Injections) <= len(solo.Injections) {
+		t.Errorf("composition plans %d runs, solo lpr plans %d", len(both.Injections), len(solo.Injections))
+	}
+}
+
+// TestComposedSiteUnion verifies the site-selection merge: an
+// unrestricted member rides along as a prefix pattern, and a
+// restricted member's exclusions survive.
+func TestComposedSiteUnion(t *testing.T) {
+	t.Parallel()
+	lpr, err := apps.Lookup("lpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	untar, err := apps.Lookup("untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lpr's campaign is unrestricted; untar's is restricted to its two
+	// archive sites.
+	c := matrix.Compose(lpr, untar).Vulnerable()
+	if len(c.Sites) == 0 {
+		t.Fatal("lpr+untar composes to an unrestricted surface; untar's site selection was dropped")
+	}
+	hasPattern, hasUntar := false, false
+	for _, s := range c.Sites {
+		if s == "lpr:*" {
+			hasPattern = true
+		}
+		if s == "untar:open-archive" {
+			hasUntar = true
+		}
+	}
+	if !hasPattern || !hasUntar {
+		t.Fatalf("composed sites = %v; want lpr:* pattern and untar's explicit sites", c.Sites)
+	}
+
+	res, err := inject.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.PerturbedSites {
+		if strings.HasPrefix(s, "untar:") && s != "untar:open-archive" && s != "untar:read-archive" {
+			t.Errorf("composition perturbed %s, which untar's campaign excludes", s)
+		}
+	}
+}
+
+// TestComposeIsDeterministic verifies two builds of one composition
+// produce identical plans — the property the fingerprint cache and the
+// byte-identical-report invariant both rest on.
+func TestComposeIsDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := matrix.PairSpecs()[0]
+	a, err := inject.Run(spec.Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inject.Run(spec.Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Injections) != len(b.Injections) {
+		t.Fatalf("plans diverge: %d vs %d runs", len(a.Injections), len(b.Injections))
+	}
+	for i := range a.Injections {
+		x, y := a.Injections[i], b.Injections[i]
+		if x.Point != y.Point || x.FaultID != y.FaultID || x.Exit != y.Exit ||
+			len(x.Violations) != len(y.Violations) {
+			t.Fatalf("run %d diverges: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -51,7 +51,10 @@ type Campaign struct {
 	// Faults parameterises the direct-fault appliers.
 	Faults eai.Config
 	// Sites restricts perturbation to these call sites (the tester's
-	// step-4 choice of objects). Empty means every eligible site.
+	// step-4 choice of objects). Empty means every eligible site. An
+	// entry ending in "*" is a prefix pattern: "lpr:*" selects every
+	// site of the lpr program — the form composed multi-app campaigns
+	// use to carry an unrestricted member's whole surface.
 	Sites []string
 	// Semantics annotates input sites with their Table 5 semantic kind.
 	// Unannotated sites fall back to eai.InferSemantic.

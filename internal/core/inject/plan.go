@@ -3,10 +3,12 @@ package inject
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core/coverage"
 	"repro/internal/core/eai"
 	"repro/internal/interpose"
+	"repro/internal/sim/kernel"
 )
 
 // PlannedInjection describes one scheduled (point, fault) pair without
@@ -165,6 +167,72 @@ func RunUntilAdequate(c Campaign, icThreshold float64) (*Result, int, error) {
 	return res, rounds, nil
 }
 
+// CleanSites executes only the campaign's clean run (step 2) and
+// returns every distinct call site on its trace, in first-hit order —
+// the site surface without the fault-list planning PrepareWith adds.
+// Catalog generators use it to enumerate a campaign's perturbable
+// surface cheaply (no per-site probe worlds are built).
+func CleanSites(c Campaign) ([]string, error) {
+	k, err := cleanRun(c)
+	if err != nil {
+		return nil, err
+	}
+	return k.Bus.Sites(), nil
+}
+
+// cleanRun performs step 2 — one unperturbed execution in a fresh
+// world — and returns the kernel holding the recorded trace. Shared
+// by planning and the CleanSites probe so the two can never diverge
+// on clean-run semantics.
+func cleanRun(c Campaign) (*kernel.Kernel, error) {
+	if c.World == nil {
+		return nil, ErrNoWorld
+	}
+	k, l := c.World()
+	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
+	if _, crash := k.Run(p, l.Prog); crash != nil {
+		return nil, fmt.Errorf("%w: %s", ErrCleanCrash, crash.Msg)
+	}
+	if len(k.Bus.Trace()) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return k, nil
+}
+
+// siteFilter implements the Campaign.Sites selection: exact site names
+// plus trailing-"*" prefix patterns. An empty filter selects everything.
+type siteFilter struct {
+	exact    map[string]bool
+	prefixes []string
+	empty    bool
+}
+
+// newSiteFilter compiles a Sites list.
+func newSiteFilter(sites []string) *siteFilter {
+	f := &siteFilter{exact: map[string]bool{}, empty: len(sites) == 0}
+	for _, s := range sites {
+		if n := len(s); n > 0 && s[n-1] == '*' {
+			f.prefixes = append(f.prefixes, s[:n-1])
+			continue
+		}
+		f.exact[s] = true
+	}
+	return f
+}
+
+// match reports whether the filter selects the site.
+func (f *siteFilter) match(site string) bool {
+	if f.empty || f.exact[site] {
+		return true
+	}
+	for _, p := range f.prefixes {
+		if strings.HasPrefix(site, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // planResult is the internal planning outcome shared by Plan and Run.
 type planResult struct {
 	result *Result
@@ -174,21 +242,13 @@ type planResult struct {
 // planCampaign performs steps 2-5 (clean run, point enumeration, fault
 // lists) and returns both the planning state and the result shell.
 func planCampaign(c Campaign, opt Options) (*planResult, error) {
-	if c.World == nil {
-		return nil, ErrNoWorld
-	}
 	c.Faults = c.Faults.WithDefaults()
 
-	clean, cleanLaunch := c.World()
-	cleanProc := clean.NewProc(cleanLaunch.Cred, cleanLaunch.Env.Clone(), cleanLaunch.Cwd, cleanLaunch.Args...)
-	_, crash := clean.Run(cleanProc, cleanLaunch.Prog)
-	if crash != nil {
-		return nil, fmt.Errorf("%w: %s", ErrCleanCrash, crash.Msg)
+	clean, err := cleanRun(c)
+	if err != nil {
+		return nil, err
 	}
 	trace := clean.Bus.Trace()
-	if len(trace) == 0 {
-		return nil, ErrEmptyTrace
-	}
 
 	res := &Result{
 		Campaign:   c.Name,
@@ -196,10 +256,7 @@ func planCampaign(c Campaign, opt Options) (*planResult, error) {
 		TotalSites: clean.Bus.Sites(),
 	}
 
-	include := map[string]bool{}
-	for _, s := range c.Sites {
-		include[s] = true
-	}
+	include := newSiteFilter(c.Sites)
 
 	firstEvent := map[string]*interpose.Event{}
 	var siteOrder []string
@@ -215,7 +272,7 @@ func planCampaign(c Campaign, opt Options) (*planResult, error) {
 	perturbed := map[string]bool{}
 	injectedAttr := map[string]bool{}
 	for _, site := range siteOrder {
-		if len(include) > 0 && !include[site] {
+		if !include.match(site) {
 			continue
 		}
 		ev := firstEvent[site]

@@ -1,0 +1,107 @@
+package inject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSiteFilterMatching(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		sites []string
+		site  string
+		want  bool
+	}{
+		{nil, "lpr:create", true},
+		{[]string{}, "anything", true},
+		{[]string{"lpr:create"}, "lpr:create", true},
+		{[]string{"lpr:create"}, "lpr:write", false},
+		{[]string{"lpr:*"}, "lpr:create", true},
+		{[]string{"lpr:*"}, "lpr:write", true},
+		{[]string{"lpr:*"}, "turnin:open-config", false},
+		{[]string{"lpr:*", "turnin:open-config"}, "turnin:open-config", true},
+		{[]string{"lpr:*", "turnin:open-config"}, "turnin:read-config", false},
+		// A bare "*" selects everything, like an empty list.
+		{[]string{"*"}, "any:site", true},
+		// The pattern is a prefix match, not a substring match.
+		{[]string{"create*"}, "lpr:create", false},
+	}
+	for _, tc := range cases {
+		f := newSiteFilter(tc.sites)
+		if got := f.match(tc.site); got != tc.want {
+			t.Errorf("newSiteFilter(%v).match(%q) = %v, want %v", tc.sites, tc.site, got, tc.want)
+		}
+	}
+}
+
+// TestCleanSites verifies the clean-run-only probe returns the same
+// site surface planning reports, without needing a full plan.
+func TestCleanSites(t *testing.T) {
+	t.Parallel()
+	c := lprCampaign()
+	sites, err := CleanSites(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PrepareWith(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell := plan.Shell()
+	if !reflect.DeepEqual(sites, shell.TotalSites) {
+		t.Errorf("CleanSites = %v, plan TotalSites = %v", sites, shell.TotalSites)
+	}
+	if _, err := CleanSites(Campaign{Name: "no-world"}); err == nil {
+		t.Error("CleanSites accepted a campaign with no world")
+	}
+}
+
+// TestSitePatternCampaign runs the mini-lpr campaign selected by a
+// prefix pattern and verifies it plans exactly what the equivalent
+// exact-site selection plans.
+func TestSitePatternCampaign(t *testing.T) {
+	t.Parallel()
+	exact := lprCampaign()
+	pattern := lprCampaign()
+	pattern.Sites = []string{"lpr:*"}
+
+	re, err := Run(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pattern widens the selection to every lpr: site; the exact
+	// single-site selection must be a subset of it.
+	if len(rp.PerturbedSites) < len(re.PerturbedSites) {
+		t.Fatalf("pattern perturbed %v, exact %v", rp.PerturbedSites, re.PerturbedSites)
+	}
+	seen := map[string]bool{}
+	for _, s := range rp.PerturbedSites {
+		seen[s] = true
+	}
+	for _, s := range re.PerturbedSites {
+		if !seen[s] {
+			t.Errorf("pattern selection missed exact site %s", s)
+		}
+	}
+
+	// And an all-sites pattern equals the unrestricted campaign.
+	open := lprCampaign()
+	open.Sites = nil
+	ro, err := Run(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := lprCampaign()
+	all.Sites = []string{"*"}
+	ra, err := Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ro.Injections, ra.Injections) {
+		t.Errorf("\"*\" pattern diverges from unrestricted campaign")
+	}
+}

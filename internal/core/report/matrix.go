@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core/sched"
+)
+
+// axisTotals accumulates one axis value's rollup.
+type axisTotals struct {
+	jobs, runs, violations, failed int
+}
+
+// Matrix renders the per-axis rollup of a matrix suite run: campaign
+// counts, injection runs and violations aggregated by application, by
+// engine-option sweep, and by site cut. Axis coordinates are parsed
+// back out of the job variant labels the matrix generator writes
+// ("vulnerable+nodedup+s4": program, then option tokens, then an
+// "s<k>" site cut) — the same labels shard artifacts persist, so a
+// merged matrix report aggregates identically to a single-process one.
+func Matrix(sr *sched.SuiteResult) string {
+	apps := map[string]*axisTotals{}
+	options := map[string]*axisTotals{}
+	cuts := map[string]*axisTotals{}
+	var appOrder []string
+
+	bump := func(m map[string]*axisTotals, key string, c *sched.CampaignResult) *axisTotals {
+		t, ok := m[key]
+		if !ok {
+			t = &axisTotals{}
+			m[key] = t
+		}
+		t.jobs++
+		if c.Err != nil {
+			t.failed++
+			return t
+		}
+		met := c.Result.Metric()
+		t.runs += met.FaultsInjected
+		t.violations += met.Violations()
+		return t
+	}
+
+	for i := range sr.Campaigns {
+		c := &sr.Campaigns[i]
+		if _, ok := apps[c.Job.Name]; !ok {
+			appOrder = append(appOrder, c.Job.Name)
+		}
+		bump(apps, c.Job.Name, c)
+		option, cut := matrixAxes(c.Job.Variant)
+		bump(options, option, c)
+		bump(cuts, cut, c)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "matrix: %d campaigns across %d applications\n", len(sr.Campaigns), len(appOrder))
+	section := func(title string, m map[string]*axisTotals, order []string) {
+		fmt.Fprintf(&b, "\nby %s:\n", title)
+		fmt.Fprintf(&b, "  %-28s %9s %9s %10s\n", title, "campaigns", "runs", "violations")
+		for _, key := range order {
+			t := m[key]
+			fmt.Fprintf(&b, "  %-28s %9d %9d %10d", key, t.jobs, t.runs, t.violations)
+			if t.failed > 0 {
+				fmt.Fprintf(&b, "  (%d failed)", t.failed)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	section("application", apps, appOrder)
+	section("engine option", options, axisOrder(options))
+	section("site cut", cuts, axisOrder(cuts))
+	return b.String()
+}
+
+// matrixAxes extracts the option and site-cut coordinates from a
+// variant label. The program token is dropped; missing axes report as
+// "base" (paper methodology) and "full" (whole surface).
+func matrixAxes(variant string) (option, cut string) {
+	option, cut = "base", "full"
+	tokens := strings.Split(variant, "+")
+	var opts []string
+	for _, tok := range tokens[1:] {
+		if isCutToken(tok) {
+			cut = tok
+			continue
+		}
+		opts = append(opts, tok)
+	}
+	if len(opts) > 0 {
+		option = strings.Join(opts, "+")
+	}
+	return option, cut
+}
+
+// isCutToken reports whether tok is a site-cut coordinate ("s<k>").
+func isCutToken(tok string) bool {
+	if len(tok) < 2 || tok[0] != 's' {
+		return false
+	}
+	for _, r := range tok[1:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// axisOrder sorts axis values with the unswept baseline first, numeric
+// cut tokens in numeric order, and everything else alphabetically.
+func axisOrder(m map[string]*axisTotals) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		abase := a == "base" || a == "full"
+		bbase := b == "base" || b == "full"
+		if abase != bbase {
+			return abase
+		}
+		if isCutToken(a) && isCutToken(b) && len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return keys
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/core/sched"
+)
+
+// mkResult builds a result with the given run and violation counts.
+func mkResult(runs, violations int) *inject.Result {
+	r := &inject.Result{}
+	for i := 0; i < runs; i++ {
+		in := inject.Injection{Point: "s#0", Site: "s"}
+		if i < violations {
+			in.Violations = []policy.Violation{{Kind: policy.KindIntegrity, Object: "/x"}}
+		}
+		r.Injections = append(r.Injections, in)
+	}
+	return r
+}
+
+func TestMatrixRollup(t *testing.T) {
+	t.Parallel()
+	sr := &sched.SuiteResult{Campaigns: []sched.CampaignResult{
+		{Job: sched.Job{Name: "lpr", Variant: "vulnerable"}, Result: mkResult(4, 4)},
+		{Job: sched.Job{Name: "lpr", Variant: "fixed"}, Result: mkResult(4, 0)},
+		{Job: sched.Job{Name: "lpr", Variant: "vulnerable+nodedup"}, Result: mkResult(6, 4)},
+		{Job: sched.Job{Name: "lpr", Variant: "vulnerable+nodedup+s2"}, Result: mkResult(3, 1)},
+		{Job: sched.Job{Name: "lpr+turnin", Variant: "vulnerable+late-direct+s10"}, Result: mkResult(9, 2)},
+		{Job: sched.Job{Name: "broken", Variant: "vulnerable"}, Err: errors.New("boom")},
+	}}
+	out := Matrix(sr)
+
+	for _, want := range []string{
+		"matrix: 6 campaigns across 3 applications",
+		"by application:",
+		"by engine option:",
+		"by site cut:",
+		"(1 failed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollup missing %q:\n%s", want, out)
+		}
+	}
+
+	lines := strings.Split(out, "\n")
+	row := func(key string) string {
+		t.Helper()
+		for _, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), key+" ") {
+				return l
+			}
+		}
+		t.Fatalf("no row %q in rollup:\n%s", key, out)
+		return ""
+	}
+	fields := func(l string) (jobs, runs, violations string) {
+		f := strings.Fields(l)
+		if len(f) < 4 {
+			t.Fatalf("short row %q", l)
+		}
+		return f[1], f[2], f[3]
+	}
+	// lpr: 4 campaigns, 4+4+6+3 = 17 runs, 4+0+4+1 = 9 violations.
+	if j, r, v := fields(row("lpr")); j != "4" || r != "17" || v != "9" {
+		t.Errorf("lpr row = %q, want 4/17/9", row("lpr"))
+	}
+	// base option: the two plain cells plus the failed job.
+	if j, r, v := fields(row("base")); j != "3" || r != "8" || v != "4" {
+		t.Errorf("base row = %q, want 3/8/4", row("base"))
+	}
+	// nodedup option: two cells (with and without cut).
+	if j, r, v := fields(row("nodedup")); j != "2" || r != "9" || v != "5" {
+		t.Errorf("nodedup row = %q, want 2/9/5", row("nodedup"))
+	}
+	// Site cuts order numerically: s2 before s10.
+	if i2, i10 := strings.Index(out, "\n  s2 "), strings.Index(out, "\n  s10 "); i2 < 0 || i10 < 0 || i2 > i10 {
+		t.Errorf("cut rows out of numeric order (s2 at %d, s10 at %d):\n%s", i2, i10, out)
+	}
+}
+
+func TestMatrixAxes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		variant, option, cut string
+	}{
+		{"vulnerable", "base", "full"},
+		{"fixed", "base", "full"},
+		{"vulnerable+nodedup", "nodedup", "full"},
+		{"vulnerable+s4", "base", "s4"},
+		{"fixed+late-direct+s12", "late-direct", "s12"},
+		{"vulnerable+late-nodedup", "late-nodedup", "full"},
+		// "s" followed by non-digits is an option token, not a cut.
+		{"vulnerable+sweep", "sweep", "full"},
+	}
+	for _, tc := range cases {
+		option, cut := matrixAxes(tc.variant)
+		if option != tc.option || cut != tc.cut {
+			t.Errorf("matrixAxes(%q) = (%q, %q), want (%q, %q)", tc.variant, option, cut, tc.option, tc.cut)
+		}
+	}
+}

@@ -23,7 +23,8 @@ type Dispatcher struct {
 	// concurrently executing plan/run units. Zero or negative means
 	// GOMAXPROCS.
 	Workers int
-	// Engine is the injection-engine options applied to every job.
+	// Engine is the injection-engine options applied to every job that
+	// does not carry its own Job.Engine override.
 	Engine inject.Options
 	// OnEvent, when non-nil, receives progress events. Calls are
 	// serialised.
@@ -217,12 +218,13 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 	job := js.job
 	cr := &st.res.Campaigns[js.idx]
 	c := job.Build()
+	engine := job.engine(st.d.Engine)
 
 	// Source-level probe: a hit replays the campaign without even the
 	// clean run (the fingerprint pins the campaign source instead of
 	// the trace; see inject.SourceFingerprint for the trust caveat).
 	if st.d.Cache != nil {
-		if fp, ok := inject.SourceFingerprint(c, st.d.Engine, job.Name, job.Variant); ok {
+		if fp, ok := inject.SourceFingerprint(c, engine, job.Name, job.Variant); ok {
 			cr.SourceFingerprint = fp
 			if hit, found := st.d.Cache.Get(fp); found {
 				n := len(hit.Injections)
@@ -236,7 +238,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 		}
 	}
 
-	plan, err := inject.PrepareWith(c, st.d.Engine)
+	plan, err := inject.PrepareWith(c, engine)
 	if err != nil {
 		cr.Err = err
 		st.emit(Event{Kind: EventDone, Job: job, Err: err})

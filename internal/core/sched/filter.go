@@ -1,0 +1,53 @@
+package sched
+
+// FilterJobs selects the jobs whose Label matches the glob pattern.
+// The pattern language is deliberately small: '*' matches any run of
+// characters (including the '/' between name and variant, unlike
+// path.Match — a matrix catalog is filtered with "lpr*" or
+// "*+nodedup*" without caring where the separator falls), '?' matches
+// exactly one character, and everything else matches itself. An empty
+// pattern selects every job. Callers decide what an empty selection
+// means; eptest rejects it with an error rather than printing an
+// empty report.
+func FilterJobs(jobs []Job, pattern string) []Job {
+	if pattern == "" {
+		return jobs
+	}
+	var out []Job
+	for _, j := range jobs {
+		if globMatch(pattern, j.Label()) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// globMatch reports whether s matches the '*'/'?' pattern. Iterative
+// with single-star backtracking, so a pathological pattern cannot
+// blow the stack.
+func globMatch(pattern, s string) bool {
+	var (
+		p, i         int
+		starP, starI = -1, 0
+	)
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == s[i]):
+			p++
+			i++
+		case p < len(pattern) && pattern[p] == '*':
+			starP, starI = p, i
+			p++
+		case starP >= 0:
+			// Backtrack: let the last '*' consume one more character.
+			starI++
+			p, i = starP+1, starI
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}

@@ -1,0 +1,41 @@
+package sched
+
+import "testing"
+
+// FuzzParseShard throws arbitrary strings at the "k/n" parser: bad
+// input must come back as an error, never a panic, and any spec that
+// parses must be in range and survive a String round trip.
+func FuzzParseShard(f *testing.F) {
+	for _, seed := range []string{
+		"1/2", "2/2", "3/2", "0/0", "0/1", "-1/-1", "1/0",
+		"1", "/", "1/", "/2", "a/b", "1/2/3", "999999999999999999999/1",
+		"1/999999999999999999999", "+1/+2", " 1/2", "1/2 ", "１/２",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseShard(s)
+		if err != nil {
+			return
+		}
+		if sp.K < 1 || sp.N < 1 || sp.K > sp.N {
+			t.Fatalf("ParseShard(%q) accepted out-of-range spec %+v", s, sp)
+		}
+		rt, err := ParseShard(sp.String())
+		if err != nil {
+			t.Fatalf("round trip of %q (%s) failed: %v", s, sp, err)
+		}
+		if rt != sp {
+			t.Fatalf("round trip of %q changed %+v to %+v", s, sp, rt)
+		}
+		// The partition the spec induces must be sane for small totals:
+		// non-overlapping strides inside [0, total).
+		for _, total := range []int{0, 1, 5} {
+			for _, i := range sp.Indices(total) {
+				if i < 0 || i >= total {
+					t.Fatalf("shard %s over %d jobs owns out-of-range index %d", sp, total, i)
+				}
+			}
+		}
+	})
+}

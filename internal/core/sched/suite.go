@@ -7,10 +7,18 @@ type Job struct {
 	// Name is the catalog campaign name.
 	Name string
 	// Variant labels the program under test ("vulnerable", "fixed").
+	// Matrix catalogs append axis tokens ("vulnerable+nodedup+s4");
+	// report.Matrix parses them back out, so keep "+" as the separator.
 	Variant string
 	// Build constructs the campaign. It is invoked once, on a
 	// dispatcher worker.
 	Build func() inject.Campaign
+	// Engine, when non-nil, overrides the suite-wide engine options for
+	// this job only — the hook matrix catalogs use to sweep
+	// inject.Options across cells of one suite. The options take part
+	// in both cache fingerprints, so every sweep cell caches
+	// independently.
+	Engine *inject.Options
 }
 
 // Label renders the job for events and reports.
@@ -19,6 +27,15 @@ func (j Job) Label() string {
 		return j.Name
 	}
 	return j.Name + "/" + j.Variant
+}
+
+// engine resolves the job's effective engine options against the
+// suite-wide default.
+func (j Job) engine(suite inject.Options) inject.Options {
+	if j.Engine != nil {
+		return *j.Engine
+	}
+	return suite
 }
 
 // EventKind discriminates suite progress events.
@@ -70,7 +87,8 @@ type SuiteOptions struct {
 	// Workers is the global concurrency budget shared by every
 	// campaign in the suite. Zero or negative means GOMAXPROCS.
 	Workers int
-	// Engine is the injection-engine options applied to every job.
+	// Engine is the injection-engine options applied to every job that
+	// does not carry its own Job.Engine override.
 	Engine inject.Options
 	// OnEvent, when non-nil, receives progress events. Calls are
 	// serialised.

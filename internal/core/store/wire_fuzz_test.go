@@ -1,0 +1,58 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/policy"
+	"repro/internal/interpose"
+)
+
+// FuzzDecodeResult throws arbitrary bytes at the wire codec: malformed
+// JSON must come back as an error, never a panic, and anything that
+// does decode must re-encode cleanly (the decoder's output always lies
+// in the encoder's domain — the invariant the cache replay path
+// depends on).
+func FuzzDecodeResult(f *testing.F) {
+	seed := &inject.Result{
+		Campaign:       "fuzz",
+		TotalSites:     []string{"a:open", "a:read"},
+		PerturbedSites: []string{"a:open"},
+		CleanTrace: []interpose.Event{
+			{
+				Call:         interpose.Call{Site: "a:open", Op: interpose.OpOpen, Path: "/etc/passwd", Occur: 1},
+				Result:       interpose.Result{Str: "ok", N: 3},
+				ResolvedPath: "/etc/passwd",
+			},
+		},
+		Injections: []inject.Injection{
+			{
+				Point: "a:open#1", Site: "a:open", FaultID: "direct/file-system/existence",
+				Applied: true, Exit: 1,
+				Violations: []policy.Violation{{Kind: policy.KindIntegrity, Object: "/x"}},
+			},
+		},
+	}
+	if b, err := EncodeResult(seed); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"campaign":"x","injections":null}`))
+	f.Add([]byte(`{"campaign":1}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"clean_trace":[{"result":{"err":"boom"}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatal("DecodeResult returned nil result with nil error")
+		}
+		if _, err := EncodeResult(res); err != nil {
+			t.Fatalf("decoded result does not re-encode: %v", err)
+		}
+	})
+}

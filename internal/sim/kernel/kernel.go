@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/interpose"
 	"repro/internal/sim/netsim"
@@ -62,6 +63,20 @@ func (k *Kernel) PostMessage(mailbox string, data []byte) {
 // PeekMailbox returns the queued messages for a mailbox (for perturbation
 // and tests).
 func (k *Kernel) PeekMailbox(mailbox string) [][]byte { return k.mailboxes[mailbox] }
+
+// MailboxNames returns every mailbox with queued messages, sorted. World
+// composition uses it to carry one member world's process-input queues
+// into a merged kernel.
+func (k *Kernel) MailboxNames() []string {
+	names := make([]string, 0, len(k.mailboxes))
+	for name, msgs := range k.mailboxes {
+		if len(msgs) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 // SetMailbox replaces a mailbox queue.
 func (k *Kernel) SetMailbox(mailbox string, msgs [][]byte) {
