@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core/coord"
+	"repro/internal/core/sched"
+)
+
+// benchStats is the machine-readable performance record `-bench-json`
+// emits for one suite run — the unit the BENCH_*.json perf trajectory
+// accumulates across PRs and CI runs. Throughput is measured over the
+// runs actually executed; replayed campaigns contribute to cache_hits
+// instead, so a warm run reports its true (tiny) execution cost.
+type benchStats struct {
+	Schema string `json:"schema"`
+	// Catalog is "base" or "matrix"; Filter/Shard narrow it.
+	Catalog     string `json:"catalog"`
+	Filter      string `json:"filter,omitempty"`
+	Shard       string `json:"shard,omitempty"`
+	Coordinated bool   `json:"coordinated,omitempty"`
+	Workers     int    `json:"workers"`
+	// Jobs is the campaign count this process ran; CatalogJobs the
+	// full catalog size (they differ under -shard and -coord-url).
+	Jobs        int     `json:"jobs"`
+	CatalogJobs int     `json:"catalog_jobs"`
+	RunsTotal   int     `json:"runs_total"`
+	RunsExec    int     `json:"runs_executed"`
+	WallMillis  float64 `json:"wall_ms"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	CacheHits   int     `json:"cache_hits"`
+	SourceHits  int     `json:"source_hits"`
+	Plans       int     `json:"plans"`
+	Steals      int     `json:"steals"`
+	// Coordinator-mode extras: claims this worker made and leases it
+	// lost to expiry while executing.
+	LostLeases int `json:"lost_leases,omitempty"`
+}
+
+// benchSchemaVersion identifies the bench-json record layout.
+const benchSchemaVersion = "eptest-bench/1"
+
+// writeBenchJSON renders the run's benchStats to cfg.benchJSON.
+func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wall time.Duration, source *coord.Source) error {
+	bs := benchStats{
+		Schema:      benchSchemaVersion,
+		Catalog:     "base",
+		Filter:      cfg.filter,
+		Shard:       cfg.shard,
+		Coordinated: cfg.coordURL != "",
+		Workers:     cfg.workers,
+		Jobs:        len(sr.Campaigns),
+		CatalogJobs: catalogJobs,
+		RunsExec:    sr.Dispatch.Runs,
+		WallMillis:  float64(wall.Microseconds()) / 1000,
+		Plans:       sr.Dispatch.Plans,
+		Steals:      sr.Dispatch.Steals,
+	}
+	if cfg.matrix {
+		bs.Catalog = "matrix"
+	}
+	for _, c := range sr.Campaigns {
+		if c.Result != nil {
+			bs.RunsTotal += len(c.Result.Injections)
+		}
+		if c.Cached {
+			bs.CacheHits++
+		}
+		if c.CachedSource {
+			bs.SourceHits++
+		}
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		bs.RunsPerSec = float64(bs.RunsExec) / secs
+	}
+	if source != nil {
+		bs.LostLeases = source.LostLeases()
+	}
+	b, err := json.MarshalIndent(&bs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	return os.WriteFile(cfg.benchJSON, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/apps/matrix"
+	"repro/internal/core/coord"
+	"repro/internal/core/sched"
+	"repro/internal/core/store"
+)
+
+// workerDisplayName resolves the name a -coord-url worker registers
+// under: the -worker flag, or host-pid so two workers on one machine
+// stay distinguishable in the coordinator report.
+func workerDisplayName(flagName string) string {
+	if flagName != "" {
+		return flagName
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// suiteCatalog builds the suite's job list and label catalog from the
+// -matrix/-filter flags. It is THE catalog definition: runSuite runs
+// it, runServeCoord serves it, and workers must derive the identical
+// list for their registrations to be accepted — which is why there is
+// exactly one implementation.
+func suiteCatalog(useMatrix bool, filter string) ([]sched.Job, []string, error) {
+	jobs := apps.SuiteJobs()
+	if useMatrix {
+		jobs = matrix.SuiteJobs()
+	}
+	if filter != "" {
+		jobs = sched.FilterJobs(jobs, filter)
+		if len(jobs) == 0 {
+			return nil, nil, fmt.Errorf("-filter %q selects zero jobs; try a broader glob (see -list, or -matrix labels like \"lpr/vulnerable+nodedup\")", filter)
+		}
+	}
+	catalog := make([]string, len(jobs))
+	for i, j := range jobs {
+		catalog[i] = j.Label()
+	}
+	return jobs, catalog, nil
+}
+
+// runServeCoord serves the campaign coordinator and the result store
+// on one listener until the process is terminated: workers dial a
+// single -coord-url for claims, leases, completions, AND the shared
+// cache. When the queue drains, the merged suite result is written to
+// the store as a 1-of-1 shard artifact, so `eptest -merge DIR` renders
+// the exact report a single-process run would have printed — the
+// coordinator keeps serving afterwards for late duplicate completions
+// and state queries.
+func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.Duration, token string, stdout, stderr io.Writer) int {
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	_, catalog, err := suiteCatalog(useMatrix, filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	co := coord.New(catalog, coord.Options{LeaseTTL: lease})
+
+	mux := http.NewServeMux()
+	mux.Handle(coord.Prefix, coord.NewServer(co))
+	mux.Handle("/", store.NewServer(st))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: -serve-coord %s: %v\n", addr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "eptest: coordinator listening on %s (%d jobs, lease %s, store %s)\n",
+		ln.Addr(), len(catalog), lease, st.Dir())
+
+	go func() {
+		<-co.Drained()
+		sr, err := co.SuiteResult()
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: coordinator drained but could not assemble the suite result: %v\n", err)
+			return
+		}
+		indices := make([]int, len(catalog))
+		for i := range indices {
+			indices[i] = i
+		}
+		if err := st.WriteShard(sched.ShardSpec{K: 1, N: 1}, catalog, indices, sr); err != nil {
+			fmt.Fprintf(stderr, "eptest: coordinator drained but could not write the merged artifact: %v\n", err)
+			return
+		}
+		fmt.Fprintf(stdout, "eptest: queue drained (%d jobs); merged artifact written — render it with `eptest -merge %s%s`\n",
+			len(catalog), st.Dir(), matrixHint(useMatrix))
+	}()
+
+	if err := http.Serve(ln, store.BearerAuth(token, mux)); err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// matrixHint renders the -matrix suffix for the drain message's merge
+// command line.
+func matrixHint(useMatrix bool) string {
+	if useMatrix {
+		return " -matrix"
+	}
+	return ""
+}

@@ -18,6 +18,16 @@
 // and -cache-url points shard workers on other machines at it, so they
 // share one cache and publish their artifacts to one merge point.
 //
+// Suite runs scale to an elastic fleet through the campaign coordinator
+// (see docs/COORDINATOR.md): -serve-coord serves the catalog as a
+// claimable queue beside the cache endpoints, and -coord-url workers
+// claim jobs under time-bounded leases instead of owning a static
+// shard — workers may join or leave (or crash) mid-run, expired leases
+// requeue automatically, and when the queue drains the coordinator
+// writes a merged artifact that `eptest -merge` renders byte-identical
+// to a single-process run. -auth-token protects either server with a
+// shared bearer token.
+//
 // Suite runs scale beyond the base catalog through the campaign matrix
 // (see docs/ARCHITECTURE.md): -matrix expands every application into a
 // deterministic grid of engine-option sweeps, site cuts, and multi-site
@@ -29,9 +39,11 @@
 //
 //	eptest -list
 //	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
-//	eptest -all [-matrix] [-filter GLOB] [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n]
+//	eptest -all [-matrix] [-filter GLOB] [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n] [-bench-json FILE]
+//	eptest -all [-matrix] [-filter GLOB] -coord-url URL [-worker NAME] [-j N]
 //	eptest -merge DIR [-matrix]
-//	eptest -serve-cache ADDR -cache DIR
+//	eptest -serve-cache ADDR -cache DIR [-auth-token TOKEN]
+//	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-auth-token TOKEN]
 package main
 
 import (
@@ -41,9 +53,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/apps"
-	"repro/internal/apps/matrix"
+	"repro/internal/core/coord"
 	"repro/internal/core/inject"
 	"repro/internal/core/report"
 	"repro/internal/core/sched"
@@ -66,6 +79,17 @@ type suiteConfig struct {
 	matrix bool
 	// filter narrows the suite to jobs whose label matches the glob.
 	filter string
+	// coordURL makes this process an elastic worker: jobs are claimed
+	// from the coordinator instead of run from a static (sharded) list,
+	// and the same URL serves as the shared result cache.
+	coordURL string
+	// worker is the display name sent to the coordinator.
+	worker string
+	// authToken is the shared bearer token for remote transports.
+	authToken string
+	// benchJSON, when set, writes machine-readable wall-time and
+	// throughput stats for the run to the named file.
+	benchJSON string
 	// tty enables the live progress renderer; run() sets it when
 	// stdout is a terminal and -v is off.
 	tty bool
@@ -89,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		filter     = fs.String("filter", "", "with -all: run only jobs whose \"name/variant\" label matches GLOB ('*' crosses the separator, e.g. 'lpr*' or '*+nodedup*')")
 		merge      = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
 		serveCache = fs.String("serve-cache", "", "serve the -cache store over HTTP at ADDR (e.g. :7077) for -cache-url workers")
+		serveCoord = fs.String("serve-coord", "", "serve the -cache store AND the job catalog as a lease-based claim queue at ADDR for -coord-url workers (catalog selected by -matrix/-filter)")
+		coordURL   = fs.String("coord-url", "", "with -all: claim jobs from a running `eptest -serve-coord` instead of owning a static shard; the same URL is used as the shared result cache")
+		workerName = fs.String("worker", "", "with -coord-url: worker name shown in the coordinator report (default host-pid)")
+		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
+		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
+		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,20 +128,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eptest: -j %d is not a worker count; pass how many injection runs may execute concurrently (-j 1 for sequential, -j 8 for eight workers)\n", *workers)
 		return 2
 	}
+	if *authToken != "" && *serveCache == "" && *serveCoord == "" && *cacheURL == "" && *coordURL == "" {
+		fmt.Fprintln(stderr, "eptest: -auth-token does nothing without -serve-cache, -serve-coord, -cache-url or -coord-url")
+		return 2
+	}
+	if *lease != coord.DefaultLeaseTTL && *serveCoord == "" {
+		fmt.Fprintln(stderr, "eptest: -lease is a coordinator-side setting; it needs -serve-coord (workers inherit the TTL at registration)")
+		return 2
+	}
+	if *serveCoord != "" {
+		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *coordURL != "" || *serveCache != "" {
+			fmt.Fprintln(stderr, "eptest: -serve-coord runs alone with -cache DIR (plus -matrix/-filter/-lease/-auth-token); start workers separately with -coord-url")
+			return 2
+		}
+		if *cache == "" {
+			fmt.Fprintln(stderr, "eptest: -serve-coord needs -cache DIR naming the store directory that holds the cache and the merged artifact")
+			return 2
+		}
+		if *lease <= 0 {
+			fmt.Fprintf(stderr, "eptest: -lease %v is not a lease TTL; pass how long a silent worker keeps its claims (e.g. -lease 60s)\n", *lease)
+			return 2
+		}
+		return runServeCoord(*serveCoord, *cache, *matrix, *filter, *lease, *authToken, stdout, stderr)
+	}
 	if *serveCache != "" {
-		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *matrix || *filter != "" {
-			fmt.Fprintln(stderr, "eptest: -serve-cache runs alone with -cache DIR (no -list/-all/-campaign/-merge/-shard/-cache-url); start workers separately with -cache-url")
+		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *coordURL != "" || *matrix || *filter != "" {
+			fmt.Fprintln(stderr, "eptest: -serve-cache runs alone with -cache DIR (no -list/-all/-campaign/-merge/-shard/-cache-url/-coord-url); start workers separately with -cache-url")
 			return 2
 		}
 		if *cache == "" {
 			fmt.Fprintln(stderr, "eptest: -serve-cache needs -cache DIR naming the store directory to serve")
 			return 2
 		}
-		return runServeCache(*serveCache, *cache, stdout, stderr)
+		return runServeCache(*serveCache, *cache, *authToken, stdout, stderr)
 	}
 	if *merge != "" {
-		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" || *filter != "" {
-			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url/-filter)")
+		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" || *coordURL != "" || *filter != "" {
+			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url/-coord-url/-filter)")
 			return 2
 		}
 		return runMerge(*merge, *matrix, stdout, stderr)
@@ -124,20 +177,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *all {
+		if *coordURL != "" && (*cache != "" || *cacheURL != "" || *shard != "") {
+			fmt.Fprintln(stderr, "eptest: -coord-url replaces -cache/-cache-url/-shard — the coordinator is the cache, and claims replace the static partition")
+			return 2
+		}
+		if *workerName != "" && *coordURL == "" {
+			fmt.Fprintln(stderr, "eptest: -worker names this process to a coordinator; it needs -coord-url")
+			return 2
+		}
 		cfg := suiteConfig{
-			workers:  *workers,
-			verbose:  *verbose,
-			cacheDir: *cache,
-			cacheURL: *cacheURL,
-			shard:    *shard,
-			matrix:   *matrix,
-			filter:   *filter,
-			tty:      !*verbose && isTerminal(stdout),
+			workers:   *workers,
+			verbose:   *verbose,
+			cacheDir:  *cache,
+			cacheURL:  *cacheURL,
+			shard:     *shard,
+			matrix:    *matrix,
+			filter:    *filter,
+			coordURL:  *coordURL,
+			worker:    *workerName,
+			authToken: *authToken,
+			benchJSON: *benchJSON,
+			// The coordinator hands jobs out one at a time, so the
+			// renderer's fixed upfront job list does not apply there.
+			tty: !*verbose && *coordURL == "" && isTerminal(stdout),
 		}
 		return runSuite(cfg, stdout, stderr)
 	}
-	if *shard != "" || *cache != "" || *cacheURL != "" || *matrix || *filter != "" {
-		fmt.Fprintln(stderr, "eptest: -cache, -cache-url, -shard and -filter require -all; -matrix requires -all or -merge")
+	if *shard != "" || *cache != "" || *cacheURL != "" || *coordURL != "" || *matrix || *filter != "" || *benchJSON != "" || *workerName != "" {
+		fmt.Fprintln(stderr, "eptest: -cache, -cache-url, -coord-url, -worker, -shard, -filter and -bench-json require -all; -matrix requires -all or -merge")
 		return 2
 	}
 	if *campaign == "" {
@@ -192,7 +259,9 @@ func runCampaign(c inject.Campaign, workers int) (*inject.Result, error) {
 }
 
 // suiteTransport opens the result transport the flags select: the
-// local directory store, the HTTP cache client, or nothing.
+// local directory store, the HTTP cache client (dialled to the cache
+// server, or to the coordinator, which serves the same endpoints), or
+// nothing.
 func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string, bool) {
 	switch {
 	case cfg.cacheDir != "" && cfg.cacheURL != "":
@@ -205,10 +274,14 @@ func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string,
 			return nil, "", false
 		}
 		return st, st.Dir(), true
-	case cfg.cacheURL != "":
-		cl, err := store.Dial(cfg.cacheURL)
+	case cfg.cacheURL != "" || cfg.coordURL != "":
+		rawURL, hint := cfg.cacheURL, "-serve-cache"
+		if cfg.coordURL != "" {
+			rawURL, hint = cfg.coordURL, "-serve-coord"
+		}
+		cl, err := store.Dial(rawURL, store.WithToken(cfg.authToken))
 		if err != nil {
-			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest -serve-cache ADDR -cache DIR`)\n", err)
+			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest %s ADDR -cache DIR`)\n", err, hint)
 			return nil, "", false
 		}
 		return cl, cl.Base(), true
@@ -229,25 +302,41 @@ func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string,
 // identical between cold and warm cache runs; the cache, dispatcher
 // and shard sections follow.
 func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
-	jobs := apps.SuiteJobs()
-	if cfg.matrix {
-		jobs = matrix.SuiteJobs()
-	}
-	if cfg.filter != "" {
-		jobs = sched.FilterJobs(jobs, cfg.filter)
-		if len(jobs) == 0 {
-			fmt.Fprintf(stderr, "eptest: -filter %q selects zero jobs; try a broader glob (see -list, or -matrix labels like \"lpr/vulnerable+nodedup\")\n", cfg.filter)
-			return 2
-		}
-	}
 	// The shard partition — and the catalog its artifact records — is
 	// over the filtered job list, so every shard of one merge must be
 	// produced with the same -matrix and -filter flags; the merge's
-	// catalog check rejects mixtures.
-	catalog := make([]string, len(jobs))
-	for i, j := range jobs {
-		catalog[i] = j.Label()
+	// catalog check rejects mixtures, and the coordinator rejects
+	// workers whose catalog differs from its own.
+	jobs, catalog, err := suiteCatalog(cfg.matrix, cfg.filter)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
 	}
+	// Coordinator mode: register against the claim queue before
+	// anything else, so a malformed URL, a wrong token, or a catalog
+	// mismatch fails fast, before any transport or work starts.
+	var (
+		coordClient *coord.Client
+		source      *coord.Source
+	)
+	if cfg.coordURL != "" {
+		var err error
+		coordClient, err = coord.Dial(cfg.coordURL, coord.WithToken(cfg.authToken))
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest -serve-coord ADDR -cache DIR`)\n", err)
+			return 2
+		}
+		if err := coordClient.Register(workerDisplayName(cfg.worker), catalog); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 2
+		}
+		if source, err = coord.NewSource(coordClient, jobs); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 2
+		}
+		defer source.Close()
+	}
+
 	var (
 		spec    sched.ShardSpec
 		indices []int
@@ -300,7 +389,15 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	sr := sched.RunSuite(jobs, opt)
+	start := time.Now()
+	var sr *sched.SuiteResult
+	if source != nil {
+		sr = sched.RunSuiteFrom(source, opt)
+		source.Close()
+	} else {
+		sr = sched.RunSuite(jobs, opt)
+	}
+	wall := time.Since(start)
 	if progress != nil {
 		progress.Close()
 	}
@@ -314,6 +411,17 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	if tr != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.CacheStats(sr))
+		if cl, ok := tr.(*store.Client); ok {
+			fmt.Fprint(stdout, report.CacheTransport(cl))
+		}
+	}
+	if coordClient != nil {
+		fmt.Fprintln(stdout)
+		if st, err := coordClient.State(); err != nil {
+			fmt.Fprintf(stdout, "coordinator: state unavailable: %v\n", err)
+		} else {
+			fmt.Fprint(stdout, report.Coordinator(st))
+		}
 	}
 	if cfg.verbose {
 		fmt.Fprintln(stdout)
@@ -325,6 +433,19 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), dest)
+	}
+	if cfg.benchJSON != "" {
+		if err := writeBenchJSON(cfg, sr, len(catalog), wall, source); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote benchmark stats to %s\n", cfg.benchJSON)
+	}
+	if source != nil {
+		if err := source.Err(); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
 	}
 	if len(sr.Failed()) > 0 {
 		return 1
@@ -366,8 +487,10 @@ func runMerge(dir string, matrix bool, stdout, stderr io.Writer) int {
 // runServeCache serves the store at dir over HTTP until the process is
 // terminated. Killing the server at any moment is safe: every store
 // write goes through an atomic rename, so readers and a later -merge
-// never observe partial files.
-func runServeCache(addr, dir string, stdout, stderr io.Writer) int {
+// never observe partial files. A non-empty token puts the server
+// behind `Authorization: Bearer` (GET /v1/meta stays open for
+// liveness probes).
+func runServeCache(addr, dir, token string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
@@ -379,7 +502,7 @@ func runServeCache(addr, dir string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintf(stdout, "eptest: cache server listening on %s (store %s)\n", ln.Addr(), st.Dir())
-	if err := http.Serve(ln, store.NewServer(st)); err != nil {
+	if err := http.Serve(ln, store.BearerAuth(token, store.NewServer(st))); err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 1
 	}

@@ -1,0 +1,407 @@
+// Package coord is the distributed campaign coordinator: it serves a
+// suite's job catalog as a claimable queue so an elastic fleet of
+// worker processes drains one perturbation matrix together, extending
+// the in-process work-stealing dispatcher (internal/core/sched) to the
+// machine level.
+//
+// The protocol is lease-based. Workers register against the catalog,
+// claim jobs one at a time under time-bounded leases, renew the leases
+// of their in-flight claims via heartbeat, and report each outcome
+// back. A lease that expires — a crashed, partitioned, or merely slow
+// worker — requeues its job for the next claimer, and late duplicate
+// completions are resolved first-write-wins, so every catalog index
+// ends up with exactly one recorded outcome and the merged suite
+// report is byte-identical to a single-process run. The state machine,
+// wire schema, and failure semantics are specified in
+// docs/COORDINATOR.md.
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core/sched"
+)
+
+// DefaultLeaseTTL is the lease duration used when Options.LeaseTTL is
+// zero: long enough that a loaded worker heartbeating at TTL/3 never
+// loses a lease to scheduling jitter, short enough that a crashed
+// worker's jobs requeue before an operator notices the stall.
+const DefaultLeaseTTL = 60 * time.Second
+
+// Options parameterises a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a claim stays valid without a renewal.
+	// Zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake clock
+	// here to drive expiry deterministically.
+	Now func() time.Time
+}
+
+// jobPhase is one catalog entry's position in the lease state machine.
+type jobPhase int
+
+const (
+	jobPending jobPhase = iota // unclaimed (initially, or after an expiry requeue)
+	jobClaimed                 // leased to a worker
+	jobDone                    // outcome recorded; terminal
+)
+
+// jobRecord is one catalog entry's coordinator-side state.
+type jobRecord struct {
+	phase   jobPhase
+	worker  string    // lease holder while claimed
+	expires time.Time // lease deadline while claimed
+	outcome *Outcome  // recorded result once done
+	doneBy  string    // worker whose completion won
+}
+
+// workerStats counts one registered worker's protocol activity.
+type workerStats struct {
+	id, name                                            string
+	claims, renewals, completions, duplicates, expiries int
+}
+
+// Coordinator is the lease-based claim queue over one job catalog. All
+// methods are safe for concurrent use; expired leases are swept lazily
+// on every call, so no background timer is needed.
+type Coordinator struct {
+	mu      sync.Mutex
+	catalog []string
+	ttl     time.Duration
+	now     func() time.Time
+
+	jobs    []jobRecord
+	workers map[string]*workerStats
+	order   []string // worker ids in registration order
+	nextID  int
+
+	done       int // jobs in jobDone
+	requeues   int
+	expiries   int
+	duplicates int
+	drained    chan struct{}
+	// change is closed and replaced whenever the queue gains pending
+	// work or drains — the edges a blocked claim waits on. The HTTP
+	// server's long-poll loop selects on it so workers learn about
+	// requeues and the drain the moment they happen instead of
+	// rediscovering them at the next poll.
+	change chan struct{}
+}
+
+// New returns a coordinator over the catalog (the label of every job
+// in the full suite, in order — what sched.Job.Label renders).
+func New(catalog []string, opt Options) *Coordinator {
+	ttl := opt.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	now := opt.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Coordinator{
+		catalog: append([]string(nil), catalog...),
+		ttl:     ttl,
+		now:     now,
+		jobs:    make([]jobRecord, len(catalog)),
+		workers: make(map[string]*workerStats),
+		drained: make(chan struct{}),
+		change:  make(chan struct{}),
+	}
+}
+
+// notifyLocked wakes every blocked claim. Callers hold co.mu.
+func (co *Coordinator) notifyLocked() {
+	close(co.change)
+	co.change = make(chan struct{})
+}
+
+// Changed returns a channel closed at the next claim-relevant state
+// change (a requeue or the drain).
+func (co *Coordinator) Changed() <-chan struct{} {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.change
+}
+
+// NextExpiry returns the earliest lease deadline among claimed jobs.
+// A long-poll waiter wakes then to run the sweep that requeues it.
+func (co *Coordinator) NextExpiry() (time.Time, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var earliest time.Time
+	found := false
+	for i := range co.jobs {
+		j := &co.jobs[i]
+		if j.phase == jobClaimed && (!found || j.expires.Before(earliest)) {
+			earliest = j.expires
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// LeaseTTL returns the coordinator's lease duration.
+func (co *Coordinator) LeaseTTL() time.Duration { return co.ttl }
+
+// Catalog returns the job catalog the coordinator serves.
+func (co *Coordinator) Catalog() []string { return append([]string(nil), co.catalog...) }
+
+// sweepLocked requeues every claimed job whose lease has expired.
+// Callers hold co.mu.
+func (co *Coordinator) sweepLocked() {
+	now := co.now()
+	requeued := false
+	for i := range co.jobs {
+		j := &co.jobs[i]
+		if j.phase == jobClaimed && !j.expires.After(now) {
+			if ws := co.workers[j.worker]; ws != nil {
+				ws.expiries++
+			}
+			j.phase = jobPending
+			j.worker = ""
+			j.expires = time.Time{}
+			co.expiries++
+			co.requeues++
+			requeued = true
+		}
+	}
+	if requeued {
+		co.notifyLocked()
+	}
+}
+
+// Register admits a worker. The worker's catalog must equal the
+// coordinator's — a worker built from different flags (or a different
+// binary) would claim indices that name other campaigns, so the
+// mismatch is rejected up front rather than surfacing as a corrupt
+// merge. Returns the worker id used in every subsequent call.
+func (co *Coordinator) Register(name string, catalog []string) (string, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(catalog) != len(co.catalog) {
+		return "", fmt.Errorf("coord: worker catalog has %d jobs, coordinator serves %d (flags or binary mismatch?)", len(catalog), len(co.catalog))
+	}
+	for i := range catalog {
+		if catalog[i] != co.catalog[i] {
+			return "", fmt.Errorf("coord: worker catalog disagrees at job %d (%q vs %q); run the worker with the coordinator's -matrix/-filter flags", i, catalog[i], co.catalog[i])
+		}
+	}
+	co.nextID++
+	id := fmt.Sprintf("w%d", co.nextID)
+	ws := &workerStats{id: id, name: name}
+	co.workers[id] = ws
+	co.order = append(co.order, id)
+	return id, nil
+}
+
+// ClaimStatus discriminates Claim outcomes.
+type ClaimStatus int
+
+const (
+	// ClaimGranted means a job was leased to the caller.
+	ClaimGranted ClaimStatus = iota + 1
+	// ClaimWait means every remaining job is currently leased to some
+	// worker; the caller should poll again — an expiry may requeue one.
+	ClaimWait
+	// ClaimDrained means every job is done; the caller can exit.
+	ClaimDrained
+)
+
+// Claim leases the lowest-index pending job to the worker. A granted
+// claim must be completed before its lease expires, or renewed via
+// Renew; otherwise it requeues for other workers.
+func (co *Coordinator) Claim(workerID string) (idx int, status ClaimStatus, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := co.workers[workerID]
+	if ws == nil {
+		return 0, 0, fmt.Errorf("coord: unknown worker %q (register first)", workerID)
+	}
+	co.sweepLocked()
+	if co.done == len(co.jobs) {
+		return 0, ClaimDrained, nil
+	}
+	for i := range co.jobs {
+		if co.jobs[i].phase == jobPending {
+			co.jobs[i] = jobRecord{phase: jobClaimed, worker: workerID, expires: co.now().Add(co.ttl)}
+			ws.claims++
+			return i, ClaimGranted, nil
+		}
+	}
+	return 0, ClaimWait, nil
+}
+
+// Renew extends the leases the worker still holds on the given
+// indices. Indices the worker no longer holds — expired and requeued,
+// reclaimed by another worker, or already done — come back in lost;
+// the worker may keep executing them (first-write-wins decides), but
+// must not assume exclusivity.
+func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []int, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	ws := co.workers[workerID]
+	if ws == nil {
+		return nil, nil, fmt.Errorf("coord: unknown worker %q (register first)", workerID)
+	}
+	co.sweepLocked()
+	deadline := co.now().Add(co.ttl)
+	for _, i := range indices {
+		if i < 0 || i >= len(co.jobs) {
+			return nil, nil, fmt.Errorf("coord: renew index %d out of range [0,%d)", i, len(co.jobs))
+		}
+		j := &co.jobs[i]
+		switch {
+		case j.phase == jobClaimed && j.worker == workerID:
+			j.expires = deadline
+			ws.renewals++
+			renewed = append(renewed, i)
+		case j.phase == jobDone && j.doneBy == workerID:
+			// The worker's own completion landed between its renew
+			// snapshot and this call — the lease was consumed, not
+			// lost, so don't alarm anyone about the TTL.
+			renewed = append(renewed, i)
+		default:
+			lost = append(lost, i)
+		}
+	}
+	return renewed, lost, nil
+}
+
+// Complete records one job's outcome. The first completion for an
+// index wins regardless of who currently holds the lease — the work is
+// deterministic, so any finished result is the result — and every
+// later completion is acknowledged as a duplicate and discarded, so a
+// slow worker racing its own expired lease can never overwrite the
+// merged report. Returns duplicate=true for the discarded case.
+func (co *Coordinator) Complete(workerID string, idx int, out Outcome) (duplicate bool, err error) {
+	co.mu.Lock()
+	ws := co.workers[workerID]
+	if ws == nil {
+		co.mu.Unlock()
+		return false, fmt.Errorf("coord: unknown worker %q (register first)", workerID)
+	}
+	if idx < 0 || idx >= len(co.jobs) {
+		co.mu.Unlock()
+		return false, fmt.Errorf("coord: complete index %d out of range [0,%d)", idx, len(co.jobs))
+	}
+	if label := (sched.Job{Name: out.Name, Variant: out.Variant}).Label(); label != co.catalog[idx] {
+		co.mu.Unlock()
+		return false, fmt.Errorf("coord: completion for job %d is labelled %q, catalog names it %q", idx, label, co.catalog[idx])
+	}
+	if err := out.validate(); err != nil {
+		co.mu.Unlock()
+		return false, fmt.Errorf("coord: completion for job %d: %w", idx, err)
+	}
+	co.sweepLocked()
+	j := &co.jobs[idx]
+	if j.phase == jobDone {
+		ws.duplicates++
+		co.duplicates++
+		co.mu.Unlock()
+		return true, nil
+	}
+	o := out
+	*j = jobRecord{phase: jobDone, outcome: &o, doneBy: workerID}
+	ws.completions++
+	co.done++
+	allDone := co.done == len(co.jobs)
+	if allDone {
+		co.notifyLocked()
+	}
+	co.mu.Unlock()
+	if allDone {
+		close(co.drained)
+	}
+	return false, nil
+}
+
+// Drained returns a channel closed once every catalog job has a
+// recorded outcome.
+func (co *Coordinator) Drained() <-chan struct{} { return co.drained }
+
+// WorkerStats is one worker's protocol counters, for reports.
+type WorkerStats struct {
+	ID, Name                                            string
+	Claims, Renewals, Completions, Duplicates, Expiries int
+}
+
+// Stats is a point-in-time snapshot of the coordinator, for the
+// report's coordinator section and the /v1/coord/state endpoint.
+type Stats struct {
+	Jobs    int `json:"jobs"`
+	Pending int `json:"pending"`
+	Claimed int `json:"claimed"`
+	Done    int `json:"done"`
+	// Requeues counts expired leases put back in the queue; Duplicates
+	// counts late completions discarded first-write-wins.
+	Requeues   int           `json:"requeues"`
+	Expiries   int           `json:"expiries"`
+	Duplicates int           `json:"duplicates"`
+	Drained    bool          `json:"drained"`
+	Workers    []WorkerStats `json:"workers,omitempty"`
+}
+
+// Stats snapshots the coordinator. The sweep runs first, so the
+// pending/claimed split reflects current leases, not stale ones.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	st := Stats{
+		Jobs:       len(co.jobs),
+		Done:       co.done,
+		Requeues:   co.requeues,
+		Expiries:   co.expiries,
+		Duplicates: co.duplicates,
+		Drained:    co.done == len(co.jobs),
+	}
+	for i := range co.jobs {
+		switch co.jobs[i].phase {
+		case jobPending:
+			st.Pending++
+		case jobClaimed:
+			st.Claimed++
+		}
+	}
+	for _, id := range co.order {
+		ws := co.workers[id]
+		st.Workers = append(st.Workers, WorkerStats{
+			ID: ws.id, Name: ws.name,
+			Claims: ws.claims, Renewals: ws.renewals, Completions: ws.completions,
+			Duplicates: ws.duplicates, Expiries: ws.expiries,
+		})
+	}
+	return st
+}
+
+// SuiteResult assembles the recorded outcomes into the SuiteResult a
+// single-process run over the catalog would have produced, campaigns
+// in catalog order. It fails unless the queue has drained.
+func (co *Coordinator) SuiteResult() (*sched.SuiteResult, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.done != len(co.jobs) {
+		missing := make([]int, 0, 8)
+		for i := range co.jobs {
+			if co.jobs[i].phase != jobDone {
+				missing = append(missing, i)
+			}
+		}
+		sort.Ints(missing)
+		return nil, fmt.Errorf("coord: %d of %d jobs incomplete (indices %v)", len(missing), len(co.jobs), missing)
+	}
+	sr := &sched.SuiteResult{Campaigns: make([]sched.CampaignResult, len(co.jobs))}
+	for i := range co.jobs {
+		cr, err := co.jobs[i].outcome.campaignResult()
+		if err != nil {
+			return nil, fmt.Errorf("coord: job %d (%s): %w", i, co.catalog[i], err)
+		}
+		sr.Campaigns[i] = cr
+	}
+	return sr, nil
+}

@@ -1,0 +1,273 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core/sched"
+	"repro/internal/core/store"
+)
+
+// ProtocolVersion identifies the coordinator wire schema. Every
+// request carries it and the server rejects mismatches, so a
+// mixed-version fleet fails loudly at register time instead of
+// corrupting a merge. Bump it on any incompatible change.
+const ProtocolVersion = "eptest-coord/1"
+
+// Outcome is one completed job's wire form: the shard-artifact fields
+// of docs/STORE.md for a single job, with the result in the store's
+// canonical campaign encoding (store.EncodeResult). The coordinator
+// records it verbatim and decodes it only when assembling the merged
+// suite result.
+type Outcome struct {
+	Name              string `json:"name"`
+	Variant           string `json:"variant,omitempty"`
+	Fingerprint       string `json:"fingerprint,omitempty"`
+	SourceFingerprint string `json:"source_fingerprint,omitempty"`
+	Cached            bool   `json:"cached,omitempty"`
+	CachedSource      bool   `json:"cached_source,omitempty"`
+	// Err is the campaign's planning error, if it failed.
+	Err string `json:"err,omitempty"`
+	// Result is the campaign result in canonical wire form; required
+	// unless Err is set.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// validate rejects outcomes the merge could obviously not consume: a
+// successful job must carry well-formed JSON for its result, and a
+// name is always required. The check is a syntax scan, not a full
+// decode — completions are the coordinator's hot path, and the deep
+// structural decode happens once, at SuiteResult assembly, where a bad
+// payload still fails loudly with the job named.
+func (o *Outcome) validate() error {
+	if o.Name == "" {
+		return errors.New("outcome has no job name")
+	}
+	if o.Err == "" {
+		if len(o.Result) == 0 {
+			return errors.New("outcome has neither a result nor an error")
+		}
+		if !json.Valid(o.Result) {
+			return errors.New("outcome result is not valid JSON")
+		}
+	}
+	return nil
+}
+
+// campaignResult converts a recorded outcome back into the scheduler's
+// in-memory form.
+func (o *Outcome) campaignResult() (sched.CampaignResult, error) {
+	cr := sched.CampaignResult{
+		Job:               sched.Job{Name: o.Name, Variant: o.Variant},
+		Fingerprint:       o.Fingerprint,
+		SourceFingerprint: o.SourceFingerprint,
+		Cached:            o.Cached,
+		CachedSource:      o.CachedSource,
+	}
+	if o.Err != "" {
+		cr.Err = errors.New(o.Err)
+		return cr, nil
+	}
+	res, err := store.DecodeResult(o.Result)
+	if err != nil {
+		return sched.CampaignResult{}, err
+	}
+	cr.Result = res
+	return cr, nil
+}
+
+// outcomeFromResult builds the wire outcome for one campaign result.
+func outcomeFromResult(cr sched.CampaignResult) (Outcome, error) {
+	o := Outcome{
+		Name:              cr.Job.Name,
+		Variant:           cr.Job.Variant,
+		Fingerprint:       cr.Fingerprint,
+		SourceFingerprint: cr.SourceFingerprint,
+		Cached:            cr.Cached,
+		CachedSource:      cr.CachedSource,
+	}
+	if cr.Err != nil {
+		o.Err = cr.Err.Error()
+		return o, nil
+	}
+	if cr.Result == nil {
+		return Outcome{}, fmt.Errorf("coord: %s has neither a result nor an error", cr.Job.Label())
+	}
+	b, err := store.EncodeResult(cr.Result)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("coord: encode %s: %w", cr.Job.Label(), err)
+	}
+	o.Result = b
+	return o, nil
+}
+
+// RegisterRequest admits a worker to the queue.
+type RegisterRequest struct {
+	Proto  string `json:"proto"`
+	Worker string `json:"worker"`
+	// Catalog is the worker's full job-label list; the coordinator
+	// rejects a mismatch with its own.
+	Catalog []string `json:"catalog"`
+}
+
+// RegisterResponse returns the worker's identity and the lease terms.
+type RegisterResponse struct {
+	Proto    string `json:"proto"`
+	WorkerID string `json:"worker_id"`
+	// LeaseMillis is the claim TTL; renew well inside it (the client
+	// heartbeats at a third).
+	LeaseMillis int64 `json:"lease_ms"`
+	// PollMillis is the suggested claim-poll interval while the queue
+	// reports ClaimWait.
+	PollMillis int64 `json:"poll_ms"`
+	Jobs       int   `json:"jobs"`
+}
+
+// ClaimRequest asks for the next job.
+type ClaimRequest struct {
+	Proto    string `json:"proto"`
+	WorkerID string `json:"worker_id"`
+}
+
+// Claim statuses on the wire.
+const (
+	statusClaimed = "claimed"
+	statusWait    = "wait"
+	statusDrained = "drained"
+)
+
+// ClaimResponse grants a lease ("claimed"), asks the worker to poll
+// again ("wait"), or dismisses it ("drained").
+type ClaimResponse struct {
+	Status string `json:"status"`
+	// Index and Label identify the granted job (status "claimed").
+	// Index must not be omitempty: job 0 is a real index.
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+}
+
+// RenewRequest heartbeats the worker's in-flight claims.
+type RenewRequest struct {
+	Proto    string `json:"proto"`
+	WorkerID string `json:"worker_id"`
+	Indices  []int  `json:"indices"`
+}
+
+// RenewResponse lists which leases were extended and which are lost
+// (expired-and-requeued, reclaimed, or already completed elsewhere).
+type RenewResponse struct {
+	Renewed []int `json:"renewed,omitempty"`
+	Lost    []int `json:"lost,omitempty"`
+}
+
+// CompleteRequest reports one claimed job's outcome.
+type CompleteRequest struct {
+	Proto    string  `json:"proto"`
+	WorkerID string  `json:"worker_id"`
+	Index    int     `json:"index"`
+	Outcome  Outcome `json:"outcome"`
+}
+
+// CompleteResponse acknowledges a completion; Duplicate marks a
+// first-write-wins discard (the worker should treat it as success).
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// Decode limits. A matrix catalog is ~600 labels; 1e6 jobs of headroom
+// keeps the coordinator from allocating unboundedly for a hostile or
+// corrupt request before validation rejects it.
+const (
+	maxCatalogJobs = 1 << 20
+	maxWorkerName  = 256
+)
+
+// The Decode* helpers strictly parse and validate one request each.
+// The coordinator mutates shared state on requests, so unlike the
+// cache transport (where any confusion degrades to a miss) every
+// malformed request must be rejected before it reaches the queue;
+// these are also the surface the wire fuzzer drives.
+
+// DecodeRegister parses and validates a register request.
+func DecodeRegister(b []byte) (*RegisterRequest, error) {
+	var r RegisterRequest
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Proto != ProtocolVersion {
+		return nil, fmt.Errorf("coord: request speaks %q, server speaks %q", r.Proto, ProtocolVersion)
+	}
+	if r.Worker == "" || len(r.Worker) > maxWorkerName {
+		return nil, errors.New("coord: worker name missing or too long")
+	}
+	if len(r.Catalog) == 0 || len(r.Catalog) > maxCatalogJobs {
+		return nil, errors.New("coord: catalog missing or too large")
+	}
+	for _, l := range r.Catalog {
+		if l == "" {
+			return nil, errors.New("coord: catalog contains an empty label")
+		}
+	}
+	return &r, nil
+}
+
+// DecodeClaim parses and validates a claim request.
+func DecodeClaim(b []byte) (*ClaimRequest, error) {
+	var r ClaimRequest
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Proto != ProtocolVersion {
+		return nil, fmt.Errorf("coord: request speaks %q, server speaks %q", r.Proto, ProtocolVersion)
+	}
+	if r.WorkerID == "" || len(r.WorkerID) > maxWorkerName {
+		return nil, errors.New("coord: worker id missing or too long")
+	}
+	return &r, nil
+}
+
+// DecodeRenew parses and validates a renew request.
+func DecodeRenew(b []byte) (*RenewRequest, error) {
+	var r RenewRequest
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Proto != ProtocolVersion {
+		return nil, fmt.Errorf("coord: request speaks %q, server speaks %q", r.Proto, ProtocolVersion)
+	}
+	if r.WorkerID == "" || len(r.WorkerID) > maxWorkerName {
+		return nil, errors.New("coord: worker id missing or too long")
+	}
+	if len(r.Indices) > maxCatalogJobs {
+		return nil, errors.New("coord: too many renewal indices")
+	}
+	for _, i := range r.Indices {
+		if i < 0 || i >= maxCatalogJobs {
+			return nil, fmt.Errorf("coord: renewal index %d out of range", i)
+		}
+	}
+	return &r, nil
+}
+
+// DecodeComplete parses and validates a complete request. The outcome
+// payload itself is validated by the coordinator against its catalog.
+func DecodeComplete(b []byte) (*CompleteRequest, error) {
+	var r CompleteRequest
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Proto != ProtocolVersion {
+		return nil, fmt.Errorf("coord: request speaks %q, server speaks %q", r.Proto, ProtocolVersion)
+	}
+	if r.WorkerID == "" || len(r.WorkerID) > maxWorkerName {
+		return nil, errors.New("coord: worker id missing or too long")
+	}
+	if r.Index < 0 || r.Index >= maxCatalogJobs {
+		return nil, fmt.Errorf("coord: completion index %d out of range", r.Index)
+	}
+	if r.Outcome.Name == "" {
+		return nil, errors.New("coord: completion outcome has no job name")
+	}
+	return &r, nil
+}

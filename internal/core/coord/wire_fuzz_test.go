@@ -1,0 +1,81 @@
+package coord_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core/coord"
+)
+
+// FuzzCoordWire throws arbitrary bytes at every request decoder and —
+// through a live server — at every endpoint. The invariants: no
+// decoder panics; whatever a decoder accepts re-encodes and re-decodes
+// to an equally valid request (round-trip closure); and the server
+// answers malformed requests with 4xx, never a crash or a 5xx.
+func FuzzCoordWire(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"proto":"eptest-coord/1","worker":"w","catalog":["a/v","a/f"]}`))
+	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1"}`))
+	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","indices":[0,1,2]}`))
+	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","index":0,"outcome":{"name":"a","variant":"v","err":"boom"}}`))
+	f.Add([]byte(`{"proto":"eptest-coord/0","worker_id":"w1"}`))
+	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","index":-4,"outcome":{"name":"a"}}`))
+
+	// A tiny lease keeps the claim endpoint's long-poll hold at a few
+	// milliseconds; a realistic TTL would throttle the fuzzer to one
+	// exec per hold whenever the seeds leave both jobs claimed.
+	co := coord.New([]string{"a/v", "a/f"}, coord.Options{LeaseTTL: 10 * time.Millisecond})
+	srv := httptest.NewServer(coord.NewServer(co))
+	defer srv.Close()
+	paths := []string{"/v1/coord/register", "/v1/coord/claim", "/v1/coord/renew", "/v1/coord/complete"}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := coord.DecodeRegister(data); err == nil {
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatalf("accepted register does not re-encode: %v", err)
+			}
+			if _, err := coord.DecodeRegister(b); err != nil {
+				t.Fatalf("re-encoded register rejected: %v", err)
+			}
+		}
+		if r, err := coord.DecodeClaim(data); err == nil {
+			b, _ := json.Marshal(r)
+			if _, err := coord.DecodeClaim(b); err != nil {
+				t.Fatalf("re-encoded claim rejected: %v", err)
+			}
+		}
+		if r, err := coord.DecodeRenew(data); err == nil {
+			b, _ := json.Marshal(r)
+			if _, err := coord.DecodeRenew(b); err != nil {
+				t.Fatalf("re-encoded renew rejected: %v", err)
+			}
+		}
+		if r, err := coord.DecodeComplete(data); err == nil {
+			b, _ := json.Marshal(r)
+			if _, err := coord.DecodeComplete(b); err != nil {
+				t.Fatalf("re-encoded complete rejected: %v", err)
+			}
+		}
+		// Every endpoint must survive the same bytes: a malformed claim
+		// is rejected, never served or crashed on. 2xx is allowed only
+		// for requests the decoders accepted above (the server may
+		// still 409 those against its queue state).
+		for _, p := range paths {
+			resp, err := http.Post(srv.URL+p, "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("POST %s: %v", p, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				t.Fatalf("POST %s = %d on %q", p, resp.StatusCode, data)
+			}
+		}
+	})
+}

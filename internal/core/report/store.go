@@ -22,6 +22,7 @@ func CacheStats(sr *sched.SuiteResult) string {
 	}
 	fmt.Fprintf(&b, "result cache: %d/%d campaigns replayed (%.1f%% hits)\n", hits, total, pct)
 	sourceHits := false
+	writeBackFailures := 0
 	for _, c := range sr.Campaigns {
 		switch {
 		case c.CachedSource:
@@ -37,13 +38,28 @@ func CacheStats(sr *sched.SuiteResult) string {
 			fmt.Fprintf(&b, "  %-24s miss  %s\n", c.Job.Label(), short(c.Fingerprint))
 		}
 		if c.CacheErr != nil {
+			writeBackFailures++
 			fmt.Fprintf(&b, "  %-24s       write-back failed: %v\n", "", c.CacheErr)
 		}
 	}
 	if sourceHits {
 		b.WriteString("  (* source-fingerprint hit: clean run skipped too)\n")
 	}
+	if writeBackFailures > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d campaign write-back(s) failed — results were NOT cached (flaky, mismatched, or unauthorized cache server?)\n", writeBackFailures)
+	}
 	return b.String()
+}
+
+// CacheTransport renders the one-line upload summary for a remote
+// cache client, so a flaky cache server is visible even when the
+// per-campaign lines scroll away. Empty when nothing failed.
+func CacheTransport(cl *store.Client) string {
+	attempts, failures := cl.PutStats()
+	if failures == 0 {
+		return ""
+	}
+	return fmt.Sprintf("cache transport: %d/%d upload(s) to %s failed\n", failures, attempts, cl.Base())
 }
 
 // MergedShards renders the merged-shard section of an `eptest -merge`

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/core/inject"
@@ -62,8 +64,9 @@ type DispatchStats struct {
 
 // jobState is one job's in-flight scheduling state.
 type jobState struct {
-	idx  int
+	seq  int // index in the full catalog (merge key in sourced mode)
 	job  Job
+	cr   *CampaignResult
 	plan *inject.ExecPlan
 	out  []inject.Injection
 
@@ -79,12 +82,21 @@ type dispatchState struct {
 	d   *Dispatcher
 	res *SuiteResult
 
-	// mu guards the deques and the remaining counter; cond wakes idle
-	// workers when work is pushed or the suite drains.
+	// mu guards the deques, the remaining counter and the sourced-mode
+	// fields; cond wakes idle workers when work is pushed and the
+	// feeder when a claimed job completes.
 	mu        sync.Mutex
 	cond      *sync.Cond
 	deques    []*deque
 	remaining int // tasks queued or executing
+
+	// Sourced mode: jobs arrive from a JobSource via the feeder
+	// goroutine instead of being seeded up front.
+	src      JobSource
+	drained  bool        // the source will yield no more jobs
+	inflight int         // jobs claimed from the source, not yet completed
+	window   int         // claim-ahead bound on inflight
+	claimed  []*jobState // every job this dispatcher claimed, in claim order
 
 	stats  []WorkerStats // one slot per worker, owned by that worker
 	emitMu sync.Mutex
@@ -92,13 +104,66 @@ type dispatchState struct {
 
 // Run dispatches the jobs and returns their results in job order.
 func (d *Dispatcher) Run(jobs []Job) *SuiteResult {
+	st := d.newState()
+	st.drained = true // the whole catalog is seeded below; nothing more arrives
+	st.res.Campaigns = make([]CampaignResult, len(jobs))
+
+	// Seed the deques round-robin with one plan task per job; the
+	// expansion into run units happens on whichever worker plans the
+	// job, and stealing spreads those units from there.
+	w := len(st.deques)
+	for ji := range jobs {
+		st.res.Campaigns[ji].Job = jobs[ji]
+		js := &jobState{seq: ji, job: jobs[ji], cr: &st.res.Campaigns[ji]}
+		st.deques[ji%w].push(task{js: js, run: planTask})
+	}
+	st.remaining = len(jobs)
+
+	st.runWorkers()
+	return st.res
+}
+
+// RunFrom dispatches jobs pulled incrementally from src: a feeder
+// goroutine claims up to Workers jobs ahead of completion and workers
+// schedule their runs exactly as in Run. The returned result holds the
+// jobs this dispatcher claimed, in catalog (Seq) order.
+func (d *Dispatcher) RunFrom(src JobSource) *SuiteResult {
+	st := d.newState()
+	st.src = src
+	st.window = len(st.deques)
+
+	var fwg sync.WaitGroup
+	fwg.Add(1)
+	go func() {
+		defer fwg.Done()
+		st.feed()
+	}()
+	st.runWorkers()
+	fwg.Wait()
+
+	sort.SliceStable(st.claimed, func(i, j int) bool { return st.claimed[i].seq < st.claimed[j].seq })
+	st.res.Campaigns = make([]CampaignResult, 0, len(st.claimed))
+	for i, js := range st.claimed {
+		// A source may re-issue a Seq this dispatcher already ran (a
+		// coordinator requeues a job whose completion upload was
+		// lost); the runs are deterministic, so keep one.
+		if i > 0 && st.claimed[i-1].seq == js.seq {
+			continue
+		}
+		st.res.Campaigns = append(st.res.Campaigns, *js.cr)
+	}
+	return st.res
+}
+
+// newState builds the shared dispatch state for one Run/RunFrom pass.
+func (d *Dispatcher) newState() *dispatchState {
 	w := d.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	st := &dispatchState{
 		d:      d,
-		res:    &SuiteResult{Campaigns: make([]CampaignResult, len(jobs))},
+		res:    &SuiteResult{},
 		deques: make([]*deque, w),
 		stats:  make([]WorkerStats, w),
 	}
@@ -106,17 +171,13 @@ func (d *Dispatcher) Run(jobs []Job) *SuiteResult {
 	for i := range st.deques {
 		st.deques[i] = &deque{}
 	}
+	return st
+}
 
-	// Seed the deques round-robin with one plan task per job; the
-	// expansion into run units happens on whichever worker plans the
-	// job, and stealing spreads those units from there.
-	for ji := range jobs {
-		js := &jobState{idx: ji, job: jobs[ji]}
-		st.res.Campaigns[ji].Job = jobs[ji]
-		st.deques[ji%w].push(task{js: js, run: planTask})
-	}
-	st.remaining = len(jobs)
-
+// runWorkers runs the worker goroutines to completion and folds their
+// counters into the result's dispatch stats.
+func (st *dispatchState) runWorkers() {
+	w := len(st.deques)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
@@ -134,7 +195,39 @@ func (d *Dispatcher) Run(jobs []Job) *SuiteResult {
 		ds.Steals += ws.Steals
 	}
 	st.res.Dispatch = ds
-	return st.res
+}
+
+// feed claims jobs from the source and seeds their plan tasks, never
+// holding more than window incomplete claims — enough to keep every
+// worker busy without hoarding jobs another machine's dispatcher could
+// be draining.
+func (st *dispatchState) feed() {
+	rr := 0
+	for {
+		st.mu.Lock()
+		for st.inflight >= st.window {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+
+		sj, ok := st.src.Next() // blocks; must run outside the lock
+		if !ok {
+			st.mu.Lock()
+			st.drained = true
+			st.mu.Unlock()
+			st.cond.Broadcast()
+			return
+		}
+		js := &jobState{seq: sj.Seq, job: sj.Job, cr: &CampaignResult{Job: sj.Job}}
+		st.mu.Lock()
+		st.claimed = append(st.claimed, js)
+		st.deques[rr%len(st.deques)].push(task{js: js, run: planTask})
+		rr++
+		st.remaining++
+		st.inflight++
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	}
 }
 
 // worker is one scheduling loop: pop own work, steal when dry, park
@@ -156,8 +249,8 @@ func (st *dispatchState) worker(w int) {
 // next returns the worker's next task: its own deque bottom first,
 // then a steal sweep over the other deques starting at its right
 // neighbour. With nothing queued it parks on cond until either new
-// work is pushed or the suite drains (remaining == 0, the only
-// not-ok return).
+// work is pushed or the suite drains (remaining == 0 with a drained
+// source, the only not-ok return).
 func (st *dispatchState) next(w int) (t task, stolen, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -170,7 +263,7 @@ func (st *dispatchState) next(w int) (t task, stolen, ok bool) {
 				return t, true, true
 			}
 		}
-		if st.remaining == 0 {
+		if st.remaining == 0 && st.drained {
 			return task{}, false, false
 		}
 		st.cond.Wait()
@@ -182,11 +275,25 @@ func (st *dispatchState) next(w int) (t task, stolen, ok bool) {
 func (st *dispatchState) finish() {
 	st.mu.Lock()
 	st.remaining--
-	drained := st.remaining == 0
+	drained := st.remaining == 0 && st.drained
 	st.mu.Unlock()
 	if drained {
 		st.cond.Broadcast()
 	}
+}
+
+// jobDone retires one job after its result is fully recorded: in
+// sourced mode the outcome is reported back to the source and the
+// feeder is woken to claim a replacement.
+func (st *dispatchState) jobDone(js *jobState) {
+	if st.src == nil {
+		return
+	}
+	st.src.Complete(SourcedJob{Job: js.job, Seq: js.seq}, *js.cr)
+	st.mu.Lock()
+	st.inflight--
+	st.mu.Unlock()
+	st.cond.Broadcast()
 }
 
 // emit serialises event delivery.
@@ -216,7 +323,7 @@ func (st *dispatchState) execute(w int, t task) {
 // deque, from where idle workers steal them.
 func (st *dispatchState) planJob(w int, js *jobState) {
 	job := js.job
-	cr := &st.res.Campaigns[js.idx]
+	cr := js.cr
 	c := job.Build()
 	engine := job.engine(st.d.Engine)
 
@@ -233,6 +340,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 				cr.CachedSource = true
 				st.emit(Event{Kind: EventPlanned, Job: job, Total: n})
 				st.emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
+				st.jobDone(js)
 				return
 			}
 		}
@@ -242,6 +350,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 	if err != nil {
 		cr.Err = err
 		st.emit(Event{Kind: EventDone, Job: job, Err: err})
+		st.jobDone(js)
 		return
 	}
 	n := plan.NumRuns()
@@ -260,6 +369,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 				cr.CacheErr = st.d.Cache.Put(cr.SourceFingerprint, job.Label(), hit)
 			}
 			st.emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
+			st.jobDone(js)
 			return
 		}
 	}
@@ -299,20 +409,21 @@ func (st *dispatchState) runOne(t task) {
 }
 
 // completeJob assembles the campaign result in plan order, writes it
-// back to the cache (best effort, under both fingerprints), and emits
-// the done event.
+// back to the cache (best effort, under both fingerprints — a failure
+// on one address does not stop the other), and emits the done event.
 func (st *dispatchState) completeJob(js *jobState) {
-	cr := &st.res.Campaigns[js.idx]
+	cr := js.cr
 	shell := js.plan.Shell()
 	shell.Injections = js.out
 	cr.Result = &shell
 	if st.d.Cache != nil {
 		err := st.d.Cache.Put(cr.Fingerprint, js.job.Label(), &shell)
-		if err == nil && cr.SourceFingerprint != "" {
-			err = st.d.Cache.Put(cr.SourceFingerprint, js.job.Label(), &shell)
+		if cr.SourceFingerprint != "" {
+			err = errors.Join(err, st.d.Cache.Put(cr.SourceFingerprint, js.job.Label(), &shell))
 		}
 		cr.CacheErr = err
 	}
 	n := len(js.out)
 	st.emit(Event{Kind: EventDone, Job: js.job, Done: n, Total: n})
+	st.jobDone(js)
 }

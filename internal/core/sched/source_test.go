@@ -1,0 +1,124 @@
+package sched_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core/report"
+	"repro/internal/core/sched"
+)
+
+// TestRunSuiteFromSliceSourceByteIdentical pins the job-source seam:
+// pulling the catalog through a SliceSource renders the exact suite
+// report (and clusters) a static RunSuite produces — the sourced
+// dispatcher is a pure scheduling change.
+func TestRunSuiteFromSliceSourceByteIdentical(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()
+	want := sched.RunSuite(jobs, sched.SuiteOptions{Workers: 4})
+	got := sched.RunSuiteFrom(sched.NewSliceSource(jobs), sched.SuiteOptions{Workers: 4})
+	if len(got.Campaigns) != len(want.Campaigns) {
+		t.Fatalf("sourced run has %d campaigns, want %d", len(got.Campaigns), len(want.Campaigns))
+	}
+	if gr, wr := report.SuiteRun(got), report.SuiteRun(want); gr != wr {
+		t.Errorf("sourced suite report differs:\n--- static ---\n%s\n--- sourced ---\n%s", wr, gr)
+	}
+	if gc, wc := report.Clusters(sched.ClusterSuite(got)), report.Clusters(sched.ClusterSuite(want)); gc != wc {
+		t.Errorf("sourced cluster report differs")
+	}
+}
+
+// countingSource wraps a SliceSource and records completions, checking
+// each job is completed exactly once with a usable result.
+type countingSource struct {
+	*sched.SliceSource
+	mu        sync.Mutex
+	completed map[int]int
+}
+
+func (c *countingSource) Complete(sj sched.SourcedJob, cr sched.CampaignResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completed[sj.Seq]++
+}
+
+// TestRunSuiteFromReportsEveryCompletion pins the Complete half of the
+// seam: every claimed job is reported back exactly once, including
+// failed and zero-run jobs.
+func TestRunSuiteFromReportsEveryCompletion(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()
+	src := &countingSource{SliceSource: sched.NewSliceSource(jobs), completed: map[int]int{}}
+	sched.RunSuiteFrom(src, sched.SuiteOptions{Workers: 8})
+	if len(src.completed) != len(jobs) {
+		t.Fatalf("%d completions for %d jobs", len(src.completed), len(jobs))
+	}
+	for seq, n := range src.completed {
+		if n != 1 {
+			t.Errorf("job %d completed %d times", seq, n)
+		}
+	}
+}
+
+// TestRunSuiteFromSharedSourceUnion runs several dispatchers over one
+// shared SliceSource — the in-process model of many machines draining
+// one coordinator — and checks the union of their partial results is
+// exactly the catalog, each campaign claimed once, each partial result
+// in catalog order.
+func TestRunSuiteFromSharedSourceUnion(t *testing.T) {
+	t.Parallel()
+	jobs := apps.SuiteJobs()
+	src := sched.NewSliceSource(jobs)
+
+	const dispatchers = 3
+	results := make([]*sched.SuiteResult, dispatchers)
+	var wg sync.WaitGroup
+	for d := 0; d < dispatchers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			results[d] = sched.RunSuiteFrom(src, sched.SuiteOptions{Workers: 2})
+		}(d)
+	}
+	wg.Wait()
+
+	seen := map[string]int{}
+	total := 0
+	for _, sr := range results {
+		lastSeq := -1
+		for _, c := range sr.Campaigns {
+			seen[c.Job.Label()]++
+			total++
+			if c.Result == nil && c.Err == nil {
+				t.Errorf("%s has neither result nor error", c.Job.Label())
+			}
+			// Partial results are ordered by catalog position.
+			seq := indexOf(t, jobs, c.Job.Label())
+			if seq <= lastSeq {
+				t.Errorf("partial result out of catalog order at %s", c.Job.Label())
+			}
+			lastSeq = seq
+		}
+	}
+	if total != len(jobs) {
+		t.Fatalf("dispatchers ran %d campaigns total, want %d", total, len(jobs))
+	}
+	for label, n := range seen {
+		if n != 1 {
+			t.Errorf("%s claimed %d times", label, n)
+		}
+	}
+}
+
+// indexOf finds a label's catalog position.
+func indexOf(t *testing.T, jobs []sched.Job, label string) int {
+	t.Helper()
+	for i, j := range jobs {
+		if j.Label() == label {
+			return i
+		}
+	}
+	t.Fatalf("label %q not in catalog", label)
+	return -1
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/inject"
@@ -185,6 +187,33 @@ func (s *Server) putShard(w http.ResponseWriter, r *http.Request) {
 // anyone should meet.
 const maxBodyBytes = 256 << 20
 
+// BearerAuth wraps a handler with shared-token authentication: every
+// request must carry `Authorization: Bearer token` or is rejected with
+// 401, except GET /v1/meta, which stays open as the unauthenticated
+// liveness probe. An empty token returns next unchanged, so callers
+// can wire the -auth-token flag through unconditionally. This is the
+// auth half of running a cache or coordinator on an untrusted network;
+// pair it with TLS termination for the transport half.
+func BearerAuth(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == metaPath {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="eptest"`)
+			http.Error(w, "missing or wrong bearer token (start the worker with the server's -auth-token)", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 // decodeBody JSON-decodes a bounded request body, writing the HTTP
 // error itself so handlers can simply return.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
@@ -208,29 +237,70 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // which the suite already treats as best-effort (CacheErr) or fatal
 // (shard publication) respectively.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
+
+	// puts / putFailures count entry uploads, so the suite can tell
+	// the operator about a flaky cache server even though every
+	// individual Put is best-effort.
+	puts        atomic.Int64
+	putFailures atomic.Int64
+}
+
+// DialOption configures Dial.
+type DialOption func(*Client)
+
+// WithToken makes the client send `Authorization: Bearer token` on
+// every request, matching a server started with -auth-token.
+func WithToken(token string) DialOption {
+	return func(c *Client) { c.token = token }
+}
+
+// ValidateBaseURL normalises a server base URL for any of the repo's
+// HTTP clients (the cache transport here, the coordinator client in
+// internal/core/coord): absolute, http or https, a host, no query or
+// fragment, trailing slash trimmed. what names the URL in errors
+// ("cache URL", "coordinator URL").
+func ValidateBaseURL(rawURL, what string) (string, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return "", fmt.Errorf("%s %q: %v", what, rawURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("%s %q must be absolute http(s)://host[:port]", what, rawURL)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("%s %q must not carry a query or fragment", what, rawURL)
+	}
+	return strings.TrimSuffix(u.String(), "/"), nil
 }
 
 // Dial validates a cache-server URL and returns a client for it. The
 // URL must be absolute with an http or https scheme and a host, e.g.
 // "http://10.0.0.7:7077". No connection is attempted — a server that
 // is down manifests as cache misses, not a dial error.
-func Dial(rawURL string) (*Client, error) {
-	u, err := url.Parse(rawURL)
+func Dial(rawURL string, opts ...DialOption) (*Client, error) {
+	base, err := ValidateBaseURL(rawURL, "cache URL")
 	if err != nil {
-		return nil, fmt.Errorf("store: cache URL %q: %v", rawURL, err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
-	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-		return nil, fmt.Errorf("store: cache URL %q must be absolute http(s)://host[:port]", rawURL)
-	}
-	if u.RawQuery != "" || u.Fragment != "" {
-		return nil, fmt.Errorf("store: cache URL %q must not carry a query or fragment", rawURL)
-	}
-	return &Client{
-		base: strings.TrimSuffix(u.String(), "/"),
+	c := &Client{
+		base: base,
 		hc:   &http.Client{Timeout: 60 * time.Second},
-	}, nil
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// PutStats reports how many cache-entry uploads this client attempted
+// and how many failed. Failures are already recorded per campaign as
+// CacheErr; the aggregate lets the suite report a flaky or
+// unauthorized cache server in one line.
+func (c *Client) PutStats() (attempts, failures int64) {
+	return c.puts.Load(), c.putFailures.Load()
 }
 
 // Base returns the server URL the client was dialled with.
@@ -240,7 +310,14 @@ func (c *Client) Base() string { return c.base }
 // transport, status, decode, or a validation the local store would
 // also reject — is a miss.
 func (c *Client) Get(fp string) (*inject.Result, bool) {
-	resp, err := c.hc.Get(c.base + campaignsPath + url.PathEscape(fp))
+	req, err := http.NewRequest(http.MethodGet, c.base+campaignsPath+url.PathEscape(fp), nil)
+	if err != nil {
+		return nil, false
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, false
 	}
@@ -264,6 +341,7 @@ func (c *Client) Get(fp string) (*inject.Result, bool) {
 
 // Put uploads a freshly computed result under its fingerprint.
 func (c *Client) Put(fp, label string, res *inject.Result) error {
+	c.puts.Add(1)
 	e := entry{
 		Store:       FormatVersion,
 		Engine:      inject.EngineVersion,
@@ -273,9 +351,14 @@ func (c *Client) Put(fp, label string, res *inject.Result) error {
 	}
 	b, err := json.Marshal(&e)
 	if err != nil {
+		c.putFailures.Add(1)
 		return fmt.Errorf("store: encode %s: %w", fp, err)
 	}
-	return c.put(campaignsPath+url.PathEscape(fp), b)
+	if err := c.put(campaignsPath+url.PathEscape(fp), b); err != nil {
+		c.putFailures.Add(1)
+		return err
+	}
+	return nil
 }
 
 // WriteShard uploads one shard's suite result; the server persists it
@@ -301,6 +384,9 @@ func (c *Client) put(path string, body []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/core/inject"
 	"repro/internal/core/sched"
 	"repro/internal/core/store"
 )
@@ -317,4 +318,117 @@ func mustShardJSON(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestBearerAuth pins the shared-token transport guard: without the
+// right token every mutating or reading endpoint is 401 (and the
+// client degrades to misses / loud put errors), with it everything
+// works, and GET /v1/meta stays open as the liveness probe.
+func TestBearerAuth(t *testing.T) {
+	t.Parallel()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.BearerAuth("s3cret", store.NewServer(st)))
+	t.Cleanup(srv.Close)
+
+	res, err := inject.Run(mustLookup(t, "lpr-create-site").Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := strings.Repeat("ab", 32)
+
+	// The liveness probe needs no token.
+	resp, err := http.Get(srv.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/meta = %s, want open access", resp.Status)
+	}
+
+	// Wrong or missing token: puts fail loudly, gets degrade to misses.
+	for name, cl := range map[string]*store.Client{
+		"no token":    mustDial(t, srv.URL),
+		"wrong token": mustDial(t, srv.URL, store.WithToken("guess")),
+	} {
+		if err := cl.Put(fp, "lpr-create-site", res); err == nil {
+			t.Errorf("%s: Put succeeded against an authed server", name)
+		} else if !strings.Contains(err.Error(), "401") {
+			t.Errorf("%s: Put error %v does not carry the 401", name, err)
+		}
+		if _, ok := cl.Get(fp); ok {
+			t.Errorf("%s: Get hit against an authed server", name)
+		}
+	}
+
+	// The right token round-trips.
+	cl := mustDial(t, srv.URL, store.WithToken("s3cret"))
+	if err := cl.Put(fp, "lpr-create-site", res); err != nil {
+		t.Fatalf("authed Put: %v", err)
+	}
+	if _, ok := cl.Get(fp); !ok {
+		t.Fatal("authed Get missed the entry just uploaded")
+	}
+
+	// An empty token leaves the server open.
+	open := httptest.NewServer(store.BearerAuth("", store.NewServer(st)))
+	t.Cleanup(open.Close)
+	if _, ok := mustDial(t, open.URL).Get(fp); !ok {
+		t.Fatal("empty token should disable auth entirely")
+	}
+}
+
+// TestClientPutStats pins the flaky-cache accounting: failed uploads
+// are counted so the suite can warn the operator, successful ones are
+// not.
+func TestClientPutStats(t *testing.T) {
+	t.Parallel()
+	cl, _ := dialTestServer(t)
+	res, err := inject.Run(mustLookup(t, "lpr-create-site").Vulnerable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := strings.Repeat("cd", 32)
+	if err := cl.Put(fp, "ok", res); err != nil {
+		t.Fatal(err)
+	}
+	if attempts, failures := cl.PutStats(); attempts != 1 || failures != 0 {
+		t.Fatalf("after one good put: attempts %d, failures %d", attempts, failures)
+	}
+	// A malformed fingerprint is rejected server-side and must count.
+	if err := cl.Put("not-a-fingerprint", "bad", res); err == nil {
+		t.Fatal("malformed fingerprint accepted")
+	}
+	// A dead server fails transport-level and must count too.
+	dead := mustDial(t, "http://127.0.0.1:1")
+	dead.Put(fp, "dead", res)
+	if attempts, failures := cl.PutStats(); attempts != 2 || failures != 1 {
+		t.Errorf("after one rejected put: attempts %d, failures %d", attempts, failures)
+	}
+	if attempts, failures := dead.PutStats(); attempts != 1 || failures != 1 {
+		t.Errorf("dead server: attempts %d, failures %d", attempts, failures)
+	}
+}
+
+// mustDial dials or fails the test.
+func mustDial(t *testing.T, url string, opts ...store.DialOption) *store.Client {
+	t.Helper()
+	cl, err := store.Dial(url, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// mustLookup resolves a catalog spec or fails the test.
+func mustLookup(t *testing.T, name string) apps.Spec {
+	t.Helper()
+	spec, err := apps.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
 }
