@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core/coord"
+	"repro/internal/core/obs"
 	"repro/internal/core/sched"
 )
 
@@ -38,13 +39,18 @@ type benchStats struct {
 	// Coordinator-mode extras: claims this worker made and leases it
 	// lost to expiry while executing.
 	LostLeases int `json:"lost_leases,omitempty"`
+	// Metrics folds the worker's full metrics registry into the record
+	// (series-signature keys, e.g. `eptest_cache_requests_total{result="hit",tier="source"}`),
+	// so the perf trajectory carries cache-tier and steal detail without
+	// a schema bump per metric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchSchemaVersion identifies the bench-json record layout.
 const benchSchemaVersion = "eptest-bench/1"
 
 // writeBenchJSON renders the run's benchStats to cfg.benchJSON.
-func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wall time.Duration, source *coord.Source) error {
+func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wall time.Duration, source *coord.Source, reg *obs.Registry) error {
 	bs := benchStats{
 		Schema:      benchSchemaVersion,
 		Catalog:     "base",
@@ -78,6 +84,9 @@ func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wal
 	}
 	if source != nil {
 		bs.LostLeases = source.LostLeases()
+	}
+	if reg != nil {
+		bs.Metrics = reg.Flat()
 	}
 	b, err := json.MarshalIndent(&bs, "", "  ")
 	if err != nil {

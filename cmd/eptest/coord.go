@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/apps/matrix"
 	"repro/internal/core/coord"
+	"repro/internal/core/obs"
 	"repro/internal/core/sched"
 	"repro/internal/core/store"
 )
@@ -60,7 +61,12 @@ func suiteCatalog(useMatrix bool, filter string) ([]sched.Job, []string, error) 
 // the exact report a single-process run would have printed — the
 // coordinator keeps serving afterwards for late duplicate completions
 // and state queries.
-func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.Duration, token string, stdout, stderr io.Writer) int {
+//
+// The same listener carries the observability surface: GET /v1/status
+// (live queue snapshot as JSON), GET /status (self-refreshing HTML
+// page over the same snapshot), and GET /metrics (Prometheus text for
+// the queue, store and HTTP metrics) — all behind the bearer token.
+func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.Duration, token, pprofAddr string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
@@ -71,11 +77,23 @@ func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.D
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 2
 	}
-	co := coord.New(catalog, coord.Options{LeaseTTL: lease})
+	reg := obs.NewRegistry()
+	if !startPprof(pprofAddr, reg, stdout, stderr) {
+		return 2
+	}
+	co := coord.New(catalog, coord.Options{LeaseTTL: lease, Metrics: reg})
 
+	// Each subtree is wrapped in the HTTP middleware exactly once — the
+	// coordinator protocol here, the store routes inside NewServer — so
+	// a request increments eptest_http_requests_total exactly once. The
+	// metrics and status endpoints themselves stay unwrapped: scrapes
+	// and page refreshes should not drown the traffic they report on.
 	mux := http.NewServeMux()
-	mux.Handle(coord.Prefix, coord.NewServer(co))
-	mux.Handle("/", store.NewServer(st))
+	mux.Handle(coord.Prefix, obs.Middleware(reg, coord.NewServer(co)))
+	mux.Handle("GET /v1/status", coord.StatusHandler(co))
+	mux.Handle("GET /status", coord.StatusPage(co))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/", store.NewServer(st, store.WithServerMetrics(reg)))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

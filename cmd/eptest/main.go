@@ -35,15 +35,24 @@
 // per-axis rollup after the suite report; -filter GLOB narrows any
 // suite run to the jobs whose name/variant label matches.
 //
+// Every mode is observable (see docs/OBSERVABILITY.md): -trace FILE
+// records each suite run as a Chrome trace_event span tree,
+// -metrics-json FILE dumps the worker's metrics registry after the run,
+// the servers expose Prometheus text at GET /metrics (the coordinator
+// adds a live GET /v1/status JSON snapshot and a self-refreshing HTML
+// page at GET /status), and -pprof ADDR starts the opt-in profiling
+// listener on any long-running process.
+//
 // Usage:
 //
 //	eptest -list
 //	eptest -campaign turnin [-fixed] [-per-point] [-v] [-j N]
 //	eptest -all [-matrix] [-filter GLOB] [-j N] [-v] [-cache DIR | -cache-url URL] [-shard k/n] [-bench-json FILE]
 //	eptest -all [-matrix] [-filter GLOB] -coord-url URL [-worker NAME] [-j N]
+//	eptest -all ... [-trace FILE] [-metrics-json FILE] [-pprof ADDR]
 //	eptest -merge DIR [-matrix]
-//	eptest -serve-cache ADDR -cache DIR [-auth-token TOKEN]
-//	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-auth-token TOKEN]
+//	eptest -serve-cache ADDR -cache DIR [-auth-token TOKEN] [-pprof ADDR]
+//	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-auth-token TOKEN] [-pprof ADDR]
 package main
 
 import (
@@ -58,6 +67,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core/coord"
 	"repro/internal/core/inject"
+	"repro/internal/core/obs"
 	"repro/internal/core/report"
 	"repro/internal/core/sched"
 	"repro/internal/core/store"
@@ -90,6 +100,15 @@ type suiteConfig struct {
 	// benchJSON, when set, writes machine-readable wall-time and
 	// throughput stats for the run to the named file.
 	benchJSON string
+	// traceFile, when set, records every run, cache round trip and
+	// coordinator call as a Chrome trace_event file.
+	traceFile string
+	// metricsJSON, when set, dumps the worker's metrics registry to the
+	// named file after the run.
+	metricsJSON string
+	// pprofAddr, when set, serves net/http/pprof on a side listener for
+	// the duration of the run.
+	pprofAddr string
 	// tty enables the live progress renderer; run() sets it when
 	// stdout is a terminal and -v is off.
 	tty bool
@@ -119,6 +138,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
 		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
 		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE")
+		traceFile  = fs.String("trace", "", "with -all: record every injection run, cache round trip and coordinator call as a Chrome trace_event FILE (open in chrome://tracing or Perfetto)")
+		metricsOut = fs.String("metrics-json", "", "with -all: dump the worker's metrics registry (counters, gauges, histograms) to FILE after the run")
+		pprofAddr  = fs.String("pprof", "", "with -all, -serve-cache or -serve-coord: serve net/http/pprof (plus /metrics) on a side listener at ADDR (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -136,6 +158,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eptest: -lease is a coordinator-side setting; it needs -serve-coord (workers inherit the TTL at registration)")
 		return 2
 	}
+	if (*traceFile != "" || *metricsOut != "") && !*all {
+		fmt.Fprintln(stderr, "eptest: -trace and -metrics-json record a suite run; they require -all")
+		return 2
+	}
+	if *pprofAddr != "" && !*all && *serveCache == "" && *serveCoord == "" {
+		fmt.Fprintln(stderr, "eptest: -pprof profiles a long-running process; it needs -all, -serve-cache or -serve-coord")
+		return 2
+	}
 	if *serveCoord != "" {
 		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *coordURL != "" || *serveCache != "" {
 			fmt.Fprintln(stderr, "eptest: -serve-coord runs alone with -cache DIR (plus -matrix/-filter/-lease/-auth-token); start workers separately with -coord-url")
@@ -149,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "eptest: -lease %v is not a lease TTL; pass how long a silent worker keeps its claims (e.g. -lease 60s)\n", *lease)
 			return 2
 		}
-		return runServeCoord(*serveCoord, *cache, *matrix, *filter, *lease, *authToken, stdout, stderr)
+		return runServeCoord(*serveCoord, *cache, *matrix, *filter, *lease, *authToken, *pprofAddr, stdout, stderr)
 	}
 	if *serveCache != "" {
 		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *coordURL != "" || *matrix || *filter != "" {
@@ -160,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "eptest: -serve-cache needs -cache DIR naming the store directory to serve")
 			return 2
 		}
-		return runServeCache(*serveCache, *cache, *authToken, stdout, stderr)
+		return runServeCache(*serveCache, *cache, *authToken, *pprofAddr, stdout, stderr)
 	}
 	if *merge != "" {
 		if *list || *all || *campaign != "" || *shard != "" || *cache != "" || *cacheURL != "" || *coordURL != "" || *filter != "" {
@@ -186,17 +216,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg := suiteConfig{
-			workers:   *workers,
-			verbose:   *verbose,
-			cacheDir:  *cache,
-			cacheURL:  *cacheURL,
-			shard:     *shard,
-			matrix:    *matrix,
-			filter:    *filter,
-			coordURL:  *coordURL,
-			worker:    *workerName,
-			authToken: *authToken,
-			benchJSON: *benchJSON,
+			workers:     *workers,
+			verbose:     *verbose,
+			cacheDir:    *cache,
+			cacheURL:    *cacheURL,
+			shard:       *shard,
+			matrix:      *matrix,
+			filter:      *filter,
+			coordURL:    *coordURL,
+			worker:      *workerName,
+			authToken:   *authToken,
+			benchJSON:   *benchJSON,
+			traceFile:   *traceFile,
+			metricsJSON: *metricsOut,
+			pprofAddr:   *pprofAddr,
 			// The coordinator hands jobs out one at a time, so the
 			// renderer's fixed upfront job list does not apply there.
 			tty: !*verbose && *coordURL == "" && isTerminal(stdout),
@@ -261,8 +294,8 @@ func runCampaign(c inject.Campaign, workers int) (*inject.Result, error) {
 // suiteTransport opens the result transport the flags select: the
 // local directory store, the HTTP cache client (dialled to the cache
 // server, or to the coordinator, which serves the same endpoints), or
-// nothing.
-func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string, bool) {
+// nothing. A remote client records its round-trip latencies into reg.
+func suiteTransport(cfg suiteConfig, reg *obs.Registry, stderr io.Writer) (store.Transport, string, bool) {
 	switch {
 	case cfg.cacheDir != "" && cfg.cacheURL != "":
 		fmt.Fprintln(stderr, "eptest: -cache and -cache-url are alternative transports; pass exactly one")
@@ -279,7 +312,7 @@ func suiteTransport(cfg suiteConfig, stderr io.Writer) (store.Transport, string,
 		if cfg.coordURL != "" {
 			rawURL, hint = cfg.coordURL, "-serve-coord"
 		}
-		cl, err := store.Dial(rawURL, store.WithToken(cfg.authToken))
+		cl, err := store.Dial(rawURL, store.WithToken(cfg.authToken), store.WithMetrics(reg))
 		if err != nil {
 			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest %s ADDR -cache DIR`)\n", err, hint)
 			return nil, "", false
@@ -312,6 +345,26 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 2
 	}
+	// The registry always exists (registration is cheap and the handles
+	// are atomic); the flags only decide whether its contents leave the
+	// process. The tracer is per-flag: a nil *obs.Tracer disables every
+	// span site.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if cfg.traceFile != "" {
+		tracer, err = obs.StartTrace(cfg.traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 2
+		}
+		tracer.NameProcess("eptest " + workerDisplayName(cfg.worker))
+		defer tracer.Close()
+	}
+	// The pprof banner goes to stderr so the report on stdout stays
+	// byte-identical with profiling on.
+	if !startPprof(cfg.pprofAddr, reg, stderr, stderr) {
+		return 2
+	}
 	// Coordinator mode: register against the claim queue before
 	// anything else, so a malformed URL, a wrong token, or a catalog
 	// mismatch fails fast, before any transport or work starts.
@@ -321,7 +374,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	)
 	if cfg.coordURL != "" {
 		var err error
-		coordClient, err = coord.Dial(cfg.coordURL, coord.WithToken(cfg.authToken))
+		coordClient, err = coord.Dial(cfg.coordURL, coord.WithToken(cfg.authToken), coord.WithMetrics(reg))
 		if err != nil {
 			fmt.Fprintf(stderr, "eptest: %v (start one with `eptest -serve-coord ADDR -cache DIR`)\n", err)
 			return 2
@@ -330,7 +383,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 2
 		}
-		if source, err = coord.NewSource(coordClient, jobs); err != nil {
+		if source, err = coord.NewSource(coordClient, jobs, coord.WithSourceTracer(tracer)); err != nil {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 2
 		}
@@ -341,7 +394,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		spec    sched.ShardSpec
 		indices []int
 	)
-	tr, dest, ok := suiteTransport(cfg, stderr)
+	tr, dest, ok := suiteTransport(cfg, reg, stderr)
 	if !ok {
 		return 2
 	}
@@ -363,7 +416,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		}
 	}
 
-	opt := sched.SuiteOptions{Workers: cfg.workers}
+	opt := sched.SuiteOptions{Workers: cfg.workers, Metrics: reg, Tracer: tracer}
 	if tr != nil {
 		opt.Cache = tr
 	}
@@ -434,8 +487,25 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), dest)
 	}
+	if tracer != nil {
+		// The explicit Close (the deferred one is a backstop for error
+		// paths) flushes the span stream and surfaces write errors while
+		// the exit code can still reflect them.
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote trace (%d events) to %s\n", tracer.Events(), cfg.traceFile)
+	}
+	if cfg.metricsJSON != "" {
+		if err := reg.WriteJSONFile(cfg.metricsJSON); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote metrics snapshot to %s\n", cfg.metricsJSON)
+	}
 	if cfg.benchJSON != "" {
-		if err := writeBenchJSON(cfg, sr, len(catalog), wall, source); err != nil {
+		if err := writeBenchJSON(cfg, sr, len(catalog), wall, source, reg); err != nil {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 1
 		}
@@ -489,22 +559,45 @@ func runMerge(dir string, matrix bool, stdout, stderr io.Writer) int {
 // write goes through an atomic rename, so readers and a later -merge
 // never observe partial files. A non-empty token puts the server
 // behind `Authorization: Bearer` (GET /v1/meta stays open for
-// liveness probes).
-func runServeCache(addr, dir, token string, stdout, stderr io.Writer) int {
+// liveness probes; GET /metrics needs the token like any other route).
+func runServeCache(addr, dir, token, pprofAddr string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 2
 	}
+	reg := obs.NewRegistry()
+	if !startPprof(pprofAddr, reg, stdout, stderr) {
+		return 2
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/", store.NewServer(st, store.WithServerMetrics(reg)))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: -serve-cache %s: %v\n", addr, err)
 		return 2
 	}
 	fmt.Fprintf(stdout, "eptest: cache server listening on %s (store %s)\n", ln.Addr(), st.Dir())
-	if err := http.Serve(ln, store.BearerAuth(token, store.NewServer(st))); err != nil {
+	if err := http.Serve(ln, store.BearerAuth(token, mux)); err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// startPprof starts the opt-in profiling listener when the -pprof flag
+// was given. It returns false only on a bind failure; an empty addr is
+// a no-op success.
+func startPprof(addr string, reg *obs.Registry, stdout, stderr io.Writer) bool {
+	if addr == "" {
+		return true
+	}
+	got, err := obs.ServePprof(addr, reg)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return false
+	}
+	fmt.Fprintf(stdout, "eptest: pprof listening on http://%s/debug/pprof/\n", got)
+	return true
 }

@@ -91,18 +91,22 @@ func TestMergeEmptyStoreFails(t *testing.T) {
 	}
 }
 
-// TestShardFlagValidation pins the flag-combination errors.
+// TestShardFlagValidation pins the flag-combination errors. The cache
+// directory is a temp dir because the shard-spec errors are detected
+// after the transport opens — a literal name would leave a stray store
+// skeleton in the working tree.
 func TestShardFlagValidation(t *testing.T) {
 	t.Parallel()
+	dir := t.TempDir()
 	cases := map[string][]string{
-		"shard without all":   {"-shard", "1/2", "-cache", "ignored"},
-		"cache without all":   {"-campaign", "turnin", "-cache", "ignored"},
+		"shard without all":   {"-shard", "1/2", "-cache", dir},
+		"cache without all":   {"-campaign", "turnin", "-cache", dir},
 		"shard without cache": {"-all", "-shard", "1/2"},
-		"malformed shard":     {"-all", "-shard", "2", "-cache", "ignored"},
-		"out-of-range shard":  {"-all", "-shard", "3/2", "-cache", "ignored"},
-		"merge with all":      {"-merge", "ignored", "-all"},
-		"merge with cache":    {"-merge", "ignored", "-cache", "ignored"},
-		"merge with list":     {"-merge", "ignored", "-list"},
+		"malformed shard":     {"-all", "-shard", "2", "-cache", dir},
+		"out-of-range shard":  {"-all", "-shard", "3/2", "-cache", dir},
+		"merge with all":      {"-merge", dir, "-all"},
+		"merge with cache":    {"-merge", dir, "-cache", dir},
+		"merge with list":     {"-merge", dir, "-list"},
 	}
 	for name, args := range cases {
 		var out, errb bytes.Buffer

@@ -17,11 +17,13 @@
 package coord
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/core/obs"
 	"repro/internal/core/sched"
 )
 
@@ -39,6 +41,10 @@ type Options struct {
 	// Now is the clock; nil means time.Now. Tests inject a fake clock
 	// here to drive expiry deterministically.
 	Now func() time.Time
+	// Metrics, when non-nil, receives queue telemetry: claim outcomes,
+	// renewals, lease expiries, completion results, and job/worker
+	// gauges, all under the eptest_coord_* names.
+	Metrics *obs.Registry
 }
 
 // jobPhase is one catalog entry's position in the lease state machine.
@@ -63,6 +69,8 @@ type jobRecord struct {
 type workerStats struct {
 	id, name                                            string
 	claims, renewals, completions, duplicates, expiries int
+	runsDone                                            int       // injection runs in recorded outcomes
+	lastSeen                                            time.Time // last protocol call (the heartbeat age base)
 }
 
 // Coordinator is the lease-based claim queue over one job catalog. All
@@ -83,6 +91,9 @@ type Coordinator struct {
 	requeues   int
 	expiries   int
 	duplicates int
+	runsDone   int       // injection runs across recorded outcomes
+	startedAt  time.Time // queue creation, the ETA's rate base
+	m          coordMetrics
 	drained    chan struct{}
 	// change is closed and replaced whenever the queue gains pending
 	// work or drains — the edges a blocked claim waits on. The HTTP
@@ -103,15 +114,65 @@ func New(catalog []string, opt Options) *Coordinator {
 	if now == nil {
 		now = time.Now
 	}
-	return &Coordinator{
-		catalog: append([]string(nil), catalog...),
-		ttl:     ttl,
-		now:     now,
-		jobs:    make([]jobRecord, len(catalog)),
-		workers: make(map[string]*workerStats),
-		drained: make(chan struct{}),
-		change:  make(chan struct{}),
+	co := &Coordinator{
+		catalog:   append([]string(nil), catalog...),
+		ttl:       ttl,
+		now:       now,
+		jobs:      make([]jobRecord, len(catalog)),
+		workers:   make(map[string]*workerStats),
+		startedAt: now(),
+		drained:   make(chan struct{}),
+		change:    make(chan struct{}),
 	}
+	co.m.resolve(opt.Metrics)
+	co.updateGaugesLocked()
+	return co
+}
+
+// coordMetrics is the coordinator's metric handles, resolved once at
+// New. Handles are nil without a registry; obs handles are nil-safe,
+// so call sites record unconditionally.
+type coordMetrics struct {
+	claimGranted, claimWait, claimDrained *obs.Counter
+	renewals, expiries                    *obs.Counter
+	recorded, duplicates                  *obs.Counter
+	workers                               *obs.Gauge
+	pending, claimed, doneJobs            *obs.Gauge
+}
+
+// resolve looks up every coordinator metric in r (nil-safe).
+func (m *coordMetrics) resolve(r *obs.Registry) {
+	const claimHelp = "Claim requests by outcome."
+	m.claimGranted = r.Counter("eptest_coord_claims_total", claimHelp, "status", "granted")
+	m.claimWait = r.Counter("eptest_coord_claims_total", claimHelp, "status", "wait")
+	m.claimDrained = r.Counter("eptest_coord_claims_total", claimHelp, "status", "drained")
+	m.renewals = r.Counter("eptest_coord_renewals_total", "Leases extended by heartbeats.")
+	m.expiries = r.Counter("eptest_coord_lease_expiries_total", "Leases expired and requeued.")
+	const doneHelp = "Completion uploads by result."
+	m.recorded = r.Counter("eptest_coord_completions_total", doneHelp, "result", "recorded")
+	m.duplicates = r.Counter("eptest_coord_completions_total", doneHelp, "result", "duplicate")
+	m.workers = r.Gauge("eptest_coord_workers", "Workers registered against the queue.")
+	const jobsHelp = "Catalog jobs by lease phase."
+	m.pending = r.Gauge("eptest_coord_jobs", jobsHelp, "phase", "pending")
+	m.claimed = r.Gauge("eptest_coord_jobs", jobsHelp, "phase", "claimed")
+	m.doneJobs = r.Gauge("eptest_coord_jobs", jobsHelp, "phase", "done")
+}
+
+// updateGaugesLocked republishes the job-phase gauges. Callers hold
+// co.mu (or, in New, exclusive ownership).
+func (co *Coordinator) updateGaugesLocked() {
+	pending, claimed := 0, 0
+	for i := range co.jobs {
+		switch co.jobs[i].phase {
+		case jobPending:
+			pending++
+		case jobClaimed:
+			claimed++
+		}
+	}
+	co.m.pending.Set(int64(pending))
+	co.m.claimed.Set(int64(claimed))
+	co.m.doneJobs.Set(int64(co.done))
 }
 
 // notifyLocked wakes every blocked claim. Callers hold co.mu.
@@ -167,10 +228,12 @@ func (co *Coordinator) sweepLocked() {
 			j.expires = time.Time{}
 			co.expiries++
 			co.requeues++
+			co.m.expiries.Inc()
 			requeued = true
 		}
 	}
 	if requeued {
+		co.updateGaugesLocked()
 		co.notifyLocked()
 	}
 }
@@ -193,9 +256,10 @@ func (co *Coordinator) Register(name string, catalog []string) (string, error) {
 	}
 	co.nextID++
 	id := fmt.Sprintf("w%d", co.nextID)
-	ws := &workerStats{id: id, name: name}
+	ws := &workerStats{id: id, name: name, lastSeen: co.now()}
 	co.workers[id] = ws
 	co.order = append(co.order, id)
+	co.m.workers.Set(int64(len(co.workers)))
 	return id, nil
 }
 
@@ -222,17 +286,22 @@ func (co *Coordinator) Claim(workerID string) (idx int, status ClaimStatus, err 
 	if ws == nil {
 		return 0, 0, fmt.Errorf("coord: unknown worker %q (register first)", workerID)
 	}
+	ws.lastSeen = co.now()
 	co.sweepLocked()
 	if co.done == len(co.jobs) {
+		co.m.claimDrained.Inc()
 		return 0, ClaimDrained, nil
 	}
 	for i := range co.jobs {
 		if co.jobs[i].phase == jobPending {
 			co.jobs[i] = jobRecord{phase: jobClaimed, worker: workerID, expires: co.now().Add(co.ttl)}
 			ws.claims++
+			co.m.claimGranted.Inc()
+			co.updateGaugesLocked()
 			return i, ClaimGranted, nil
 		}
 	}
+	co.m.claimWait.Inc()
 	return 0, ClaimWait, nil
 }
 
@@ -248,6 +317,7 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 	if ws == nil {
 		return nil, nil, fmt.Errorf("coord: unknown worker %q (register first)", workerID)
 	}
+	ws.lastSeen = co.now()
 	co.sweepLocked()
 	deadline := co.now().Add(co.ttl)
 	for _, i := range indices {
@@ -259,6 +329,7 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 		case j.phase == jobClaimed && j.worker == workerID:
 			j.expires = deadline
 			ws.renewals++
+			co.m.renewals.Inc()
 			renewed = append(renewed, i)
 		case j.phase == jobDone && j.doneBy == workerID:
 			// The worker's own completion landed between its renew
@@ -297,11 +368,13 @@ func (co *Coordinator) Complete(workerID string, idx int, out Outcome) (duplicat
 		co.mu.Unlock()
 		return false, fmt.Errorf("coord: completion for job %d: %w", idx, err)
 	}
+	ws.lastSeen = co.now()
 	co.sweepLocked()
 	j := &co.jobs[idx]
 	if j.phase == jobDone {
 		ws.duplicates++
 		co.duplicates++
+		co.m.duplicates.Inc()
 		co.mu.Unlock()
 		return true, nil
 	}
@@ -309,6 +382,11 @@ func (co *Coordinator) Complete(workerID string, idx int, out Outcome) (duplicat
 	*j = jobRecord{phase: jobDone, outcome: &o, doneBy: workerID}
 	ws.completions++
 	co.done++
+	runs := countRuns(&o)
+	ws.runsDone += runs
+	co.runsDone += runs
+	co.m.recorded.Inc()
+	co.updateGaugesLocked()
 	allDone := co.done == len(co.jobs)
 	if allDone {
 		co.notifyLocked()
@@ -318,6 +396,23 @@ func (co *Coordinator) Complete(workerID string, idx int, out Outcome) (duplicat
 		close(co.drained)
 	}
 	return false, nil
+}
+
+// countRuns extracts the injection-run count from an outcome's wire
+// payload without a full structural decode: the injections array's
+// length is all the status page and ETA need. Malformed or error-only
+// outcomes count zero runs.
+func countRuns(o *Outcome) int {
+	if len(o.Result) == 0 {
+		return 0
+	}
+	var rc struct {
+		Injections []json.RawMessage `json:"injections"`
+	}
+	if json.Unmarshal(o.Result, &rc) != nil {
+		return 0
+	}
+	return len(rc.Injections)
 }
 
 // Drained returns a channel closed once every catalog job has a

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core/obs"
 	"repro/internal/core/store"
 )
 
@@ -245,6 +246,13 @@ type ClientOption func(*Client)
 // every request, matching a server started with -auth-token.
 func WithToken(token string) ClientOption {
 	return func(c *Client) { c.token = token }
+}
+
+// WithMetrics instruments the client's transport: every coordinator
+// round trip is recorded as eptest_http_client_* counters and latency
+// samples in r, labelled by normalised route.
+func WithMetrics(r *obs.Registry) ClientOption {
+	return func(c *Client) { c.hc.Transport = obs.RoundTripper(r, c.hc.Transport) }
 }
 
 // Dial validates a coordinator URL and returns a client for it. No

@@ -3,9 +3,11 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/core/obs"
 	"repro/internal/core/sched"
 )
 
@@ -29,6 +31,9 @@ const (
 type Source struct {
 	cl   *Client
 	jobs []sched.Job
+	// tr, when non-nil, records claim/renew/complete round trips as
+	// spans on the TIDCoord and TIDUpload trace rows.
+	tr *obs.Tracer
 
 	mu        sync.Mutex
 	inflight  map[int]bool
@@ -56,10 +61,21 @@ type completion struct {
 	out Outcome
 }
 
+// SourceOption configures NewSource.
+type SourceOption func(*Source)
+
+// WithSourceTracer records the source's coordinator round trips —
+// claim, renew, complete — as spans on the dedicated coordinator and
+// uploader trace rows, so queue latency is visible next to the run
+// spans in one trace file.
+func WithSourceTracer(tr *obs.Tracer) SourceOption {
+	return func(s *Source) { s.tr = tr }
+}
+
 // NewSource returns a source over the registered client. jobs must be
 // the full catalog, index-aligned with the coordinator's (Register
 // already verified the labels match).
-func NewSource(cl *Client, jobs []sched.Job) (*Source, error) {
+func NewSource(cl *Client, jobs []sched.Job, opts ...SourceOption) (*Source, error) {
 	if cl.WorkerID() == "" {
 		return nil, errors.New("coord: source needs a registered client")
 	}
@@ -69,6 +85,13 @@ func NewSource(cl *Client, jobs []sched.Job) (*Source, error) {
 		inflight: make(map[int]bool),
 		uploads:  make(chan completion, 128),
 		stop:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.tr != nil {
+		s.tr.NameThread(obs.TIDCoord, "coordinator")
+		s.tr.NameThread(obs.TIDUpload, "uploader")
 	}
 	s.done.Add(1)
 	go func() {
@@ -150,7 +173,9 @@ func (s *Source) Next() (sched.SourcedJob, bool) {
 	maxPoll := s.cl.PollInterval()
 	backoff := time.Millisecond
 	for {
+		claimStart := time.Now()
 		idx, status, err := s.cl.Claim()
+		s.span(obs.TIDCoord, "claim", claimStart, claimResult(idx, status, err))
 		switch {
 		case err != nil:
 			if s.fail(err) {
@@ -203,6 +228,27 @@ func (s *Source) Next() (sched.SourcedJob, bool) {
 	}
 }
 
+// span records one coordinator round trip on a reserved trace row.
+func (s *Source) span(tid int, name string, start time.Time, args map[string]string) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Span(tid, "coord", name, start, time.Since(start), args)
+}
+
+// claimResult annotates a claim span with its outcome.
+func claimResult(idx int, status ClaimStatus, err error) map[string]string {
+	switch {
+	case err != nil:
+		return map[string]string{"result": "error"}
+	case status == ClaimGranted:
+		return map[string]string{"result": "granted", "index": strconv.Itoa(idx)}
+	case status == ClaimDrained:
+		return map[string]string{"result": "drained"}
+	}
+	return map[string]string{"result": "wait"}
+}
+
 // Complete implements sched.JobSource: the outcome is encoded on the
 // calling (worker) goroutine and queued for the uploader, so the
 // worker moves on to its next run while the result travels. A
@@ -238,7 +284,19 @@ func (s *Source) uploader() {
 		}
 		var err error
 		for attempt := 0; attempt < attempts; attempt++ {
-			if _, err = s.cl.Complete(c.seq, c.out); err == nil {
+			start := time.Now()
+			var dup bool
+			dup, err = s.cl.Complete(c.seq, c.out)
+			result := "ok"
+			switch {
+			case err != nil:
+				result = "error"
+			case dup:
+				result = "duplicate"
+			}
+			s.span(obs.TIDUpload, "complete", start,
+				map[string]string{"index": strconv.Itoa(c.seq), "result": result})
+			if err == nil {
 				break
 			}
 			if attempt < attempts-1 {
@@ -280,7 +338,11 @@ func (s *Source) heartbeat() {
 		if len(indices) == 0 {
 			continue
 		}
+		renewStart := time.Now()
 		lost, err := s.cl.Renew(indices)
+		s.span(obs.TIDCoord, "renew", renewStart, map[string]string{
+			"leases": strconv.Itoa(len(indices)), "lost": strconv.Itoa(len(lost)),
+		})
 		if err != nil {
 			s.fail(err)
 			continue

@@ -1,6 +1,10 @@
 package inject
 
-import "repro/internal/interpose"
+import (
+	"time"
+
+	"repro/internal/interpose"
+)
 
 // ExecPlan is a materialised campaign: the clean-run planning state of
 // Section 3.3 steps 2-5 plus the ordered list of injection runs steps 6-8
@@ -59,7 +63,22 @@ func (p *ExecPlan) Planned(i int) PlannedInjection {
 // returns its outcome. It is safe for concurrent use: every call builds
 // its own kernel and mutates only its own Injection.
 func (p *ExecPlan) RunOne(i int) Injection {
-	return runOne(p.campaign, p.opt, p.plans[i])
+	return runOne(p.campaign, p.opt, p.plans[i], nil)
+}
+
+// PhaseFunc observes the internal phases of one injection run as they
+// complete: "world" (environment construction and fault arming),
+// "exec" (the perturbed execution), and "compare" (the security-oracle
+// evaluation), in that order. Observers receive wall-clock timings
+// only — they cannot influence the run, so results stay bit-identical
+// with or without observation.
+type PhaseFunc func(phase string, start time.Time, d time.Duration)
+
+// RunOneObserved is RunOne with per-phase timing callbacks — the span
+// hook the suite tracer uses to render each run as a plan→exec→compare
+// span tree. fn may be nil, making it exactly RunOne.
+func (p *ExecPlan) RunOneObserved(i int, fn PhaseFunc) Injection {
+	return runOne(p.campaign, p.opt, p.plans[i], fn)
 }
 
 // Shell returns a copy of the campaign result with the planning fields

@@ -8,6 +8,7 @@ package inject
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core/coverage"
 	"repro/internal/core/eai"
@@ -216,8 +217,11 @@ func objectIdentity(call *interpose.Call) string {
 	return vfs.Canon(callCwd(call, Launch{}), call.Path)
 }
 
-// runOne performs a single fault-injection run (steps 6-8).
-func runOne(c Campaign, opt Options, pl planned) Injection {
+// runOne performs a single fault-injection run (steps 6-8). phase, when
+// non-nil, observes the world/exec/compare segments; it deliberately
+// lives outside Options so telemetry never perturbs cache fingerprints.
+func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc) Injection {
+	worldStart := time.Now()
 	k, l := c.World()
 	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
 
@@ -285,7 +289,15 @@ func runOne(c Campaign, opt Options, pl planned) Injection {
 		})
 	}
 
+	execStart := time.Now()
+	if phase != nil {
+		phase("world", worldStart, execStart.Sub(worldStart))
+	}
 	exit, crash := k.Run(p, l.Prog)
+	compareStart := time.Now()
+	if phase != nil {
+		phase("exec", execStart, compareStart.Sub(execStart))
+	}
 	inj.Exit = exit
 	obs := policy.Observation{
 		Trace:  k.Bus.Trace(),
@@ -297,5 +309,8 @@ func runOne(c Campaign, opt Options, pl planned) Injection {
 		obs.CrashMsg = crash.Msg
 	}
 	inj.Violations = c.Policy.Evaluate(obs)
+	if phase != nil {
+		phase("compare", compareStart, time.Since(compareStart))
+	}
 	return inj
 }

@@ -4,9 +4,12 @@ import (
 	"errors"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core/inject"
+	"repro/internal/core/obs"
 )
 
 // Dispatcher schedules a suite at run granularity: every Job is
@@ -38,6 +41,15 @@ type Dispatcher struct {
 	// results are written back under both fingerprints. The Cache may
 	// be local (store.Store) or a network transport (store.Client).
 	Cache Cache
+	// Metrics, when non-nil, receives fleet telemetry: run/plan/steal
+	// counters, cache probes by tier and result, queue depth and run
+	// latency. Purely observational — a nil registry and a populated one
+	// yield byte-identical suite results.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records each plan and injection run as a
+	// span tree (run ⊃ world/exec/compare, plus cache get/put spans) on
+	// the executing worker's tid row.
+	Tracer *obs.Tracer
 }
 
 // WorkerStats counts one dispatcher worker's activity.
@@ -100,6 +112,38 @@ type dispatchState struct {
 
 	stats  []WorkerStats // one slot per worker, owned by that worker
 	emitMu sync.Mutex
+
+	m dispatchMetrics
+}
+
+// dispatchMetrics is the dispatcher's metric handles, resolved once per
+// Run/RunFrom pass so the hot path is a few atomic adds. Every handle
+// is nil when the dispatcher has no registry; obs handles are nil-safe,
+// so call sites record unconditionally.
+type dispatchMetrics struct {
+	plans, runs, steals *obs.Counter
+	srcHit, srcMiss     *obs.Counter
+	planHit, planMiss   *obs.Counter
+	writeOK, writeErr   *obs.Counter
+	queueDepth          *obs.Gauge
+	runSeconds          *obs.Histogram
+}
+
+// resolve looks up every dispatch metric in r (nil-safe).
+func (m *dispatchMetrics) resolve(r *obs.Registry) {
+	m.plans = r.Counter("eptest_plans_total", "Campaigns planned (clean run + fault-list enumeration).")
+	m.runs = r.Counter("eptest_runs_executed_total", "Injection runs executed by this process.")
+	m.steals = r.Counter("eptest_steals_total", "Tasks taken from another worker's deque.")
+	const reqHelp = "Cache probes by tier and result."
+	m.srcHit = r.Counter("eptest_cache_requests_total", reqHelp, "tier", "source", "result", "hit")
+	m.srcMiss = r.Counter("eptest_cache_requests_total", reqHelp, "tier", "source", "result", "miss")
+	m.planHit = r.Counter("eptest_cache_requests_total", reqHelp, "tier", "plan", "result", "hit")
+	m.planMiss = r.Counter("eptest_cache_requests_total", reqHelp, "tier", "plan", "result", "miss")
+	const wbHelp = "Cache write-backs by result."
+	m.writeOK = r.Counter("eptest_cache_writebacks_total", wbHelp, "result", "ok")
+	m.writeErr = r.Counter("eptest_cache_writebacks_total", wbHelp, "result", "error")
+	m.queueDepth = r.Gauge("eptest_queue_depth", "Tasks queued or executing in the dispatcher.")
+	m.runSeconds = r.Histogram("eptest_run_seconds", "Injection run duration.", obs.DefBuckets)
 }
 
 // Run dispatches the jobs and returns their results in job order.
@@ -118,6 +162,7 @@ func (d *Dispatcher) Run(jobs []Job) *SuiteResult {
 		st.deques[ji%w].push(task{js: js, run: planTask})
 	}
 	st.remaining = len(jobs)
+	st.m.queueDepth.Set(int64(st.remaining))
 
 	st.runWorkers()
 	return st.res
@@ -170,6 +215,10 @@ func (d *Dispatcher) newState() *dispatchState {
 	st.cond = sync.NewCond(&st.mu)
 	for i := range st.deques {
 		st.deques[i] = &deque{}
+	}
+	st.m.resolve(d.Metrics)
+	for i := 0; i < w; i++ {
+		d.Tracer.NameThread(i, "worker "+strconv.Itoa(i))
 	}
 	return st
 }
@@ -225,6 +274,7 @@ func (st *dispatchState) feed() {
 		rr++
 		st.remaining++
 		st.inflight++
+		st.m.queueDepth.Set(int64(st.remaining))
 		st.mu.Unlock()
 		st.cond.Broadcast()
 	}
@@ -240,6 +290,7 @@ func (st *dispatchState) worker(w int) {
 		}
 		if stolen {
 			st.stats[w].Steals++
+			st.m.steals.Inc()
 		}
 		st.execute(w, t)
 		st.finish()
@@ -275,6 +326,7 @@ func (st *dispatchState) next(w int) (t task, stolen, ok bool) {
 func (st *dispatchState) finish() {
 	st.mu.Lock()
 	st.remaining--
+	st.m.queueDepth.Set(int64(st.remaining))
 	drained := st.remaining == 0 && st.drained
 	st.mu.Unlock()
 	if drained {
@@ -310,11 +362,44 @@ func (st *dispatchState) emit(ev Event) {
 func (st *dispatchState) execute(w int, t task) {
 	if t.run == planTask {
 		st.stats[w].Plans++
+		st.m.plans.Inc()
 		st.planJob(w, t.js)
 		return
 	}
 	st.stats[w].Runs++
-	st.runOne(t)
+	st.m.runs.Inc()
+	st.runOne(w, t)
+}
+
+// cacheGet probes the cache at one tier, recording the probe's outcome
+// as a counter sample and a span on the worker's row.
+func (st *dispatchState) cacheGet(w int, tier, fp string, hitC, missC *obs.Counter) (*inject.Result, bool) {
+	start := time.Now()
+	hit, found := st.d.Cache.Get(fp)
+	res, c := "miss", missC
+	if found {
+		res, c = "hit", hitC
+	}
+	c.Inc()
+	st.d.Tracer.Span(w, "cache", "cache.get", start, time.Since(start),
+		map[string]string{"tier": tier, "result": res})
+	return hit, found
+}
+
+// cachePut writes one entry back, recording the outcome.
+func (st *dispatchState) cachePut(w int, tier, fp, label string, r *inject.Result) error {
+	start := time.Now()
+	err := st.d.Cache.Put(fp, label, r)
+	res := "ok"
+	if err != nil {
+		res = "error"
+		st.m.writeErr.Inc()
+	} else {
+		st.m.writeOK.Inc()
+	}
+	st.d.Tracer.Span(w, "cache", "cache.put", start, time.Since(start),
+		map[string]string{"tier": tier, "result": res})
+	return err
 }
 
 // planJob materialises one job: source-fingerprint cache probe, clean
@@ -333,7 +418,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 	if st.d.Cache != nil {
 		if fp, ok := inject.SourceFingerprint(c, engine, job.Name, job.Variant); ok {
 			cr.SourceFingerprint = fp
-			if hit, found := st.d.Cache.Get(fp); found {
+			if hit, found := st.cacheGet(w, "source", fp, st.m.srcHit, st.m.srcMiss); found {
 				n := len(hit.Injections)
 				cr.Result = hit
 				cr.Cached = true
@@ -346,7 +431,10 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 		}
 	}
 
+	planStart := time.Now()
 	plan, err := inject.PrepareWith(c, engine)
+	st.d.Tracer.Span(w, "plan", "plan "+job.Label(), planStart, time.Since(planStart),
+		map[string]string{"campaign": job.Label()})
 	if err != nil {
 		cr.Err = err
 		st.emit(Event{Kind: EventDone, Job: job, Err: err})
@@ -359,14 +447,14 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 	if st.d.Cache != nil {
 		fp := plan.Fingerprint(job.Name, job.Variant)
 		cr.Fingerprint = fp
-		if hit, found := st.d.Cache.Get(fp); found {
+		if hit, found := st.cacheGet(w, "plan", fp, st.m.planHit, st.m.planMiss); found {
 			cr.Result = hit
 			cr.Cached = true
 			// Upgrade stores written before source fingerprinting:
 			// alias the entry under the source address so the next
 			// run skips the clean run too.
 			if cr.SourceFingerprint != "" {
-				cr.CacheErr = st.d.Cache.Put(cr.SourceFingerprint, job.Label(), hit)
+				cr.CacheErr = st.cachePut(w, "source", cr.SourceFingerprint, job.Label(), hit)
 			}
 			st.emit(Event{Kind: EventDone, Job: job, Done: n, Total: n, Cached: true})
 			st.jobDone(js)
@@ -378,7 +466,7 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 	js.out = make([]inject.Injection, n)
 	js.left = n
 	if n == 0 {
-		st.completeJob(js)
+		st.completeJob(w, js)
 		return
 	}
 	// Push in reverse so the owner's LIFO pops execute in plan order;
@@ -388,15 +476,35 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 		st.deques[w].push(task{js: js, run: i})
 	}
 	st.remaining += n
+	st.m.queueDepth.Set(int64(st.remaining))
 	st.mu.Unlock()
 	st.cond.Broadcast()
 }
 
 // runOne executes a single injection run into its plan-order slot and
-// completes the job when it was the last one outstanding.
-func (st *dispatchState) runOne(t task) {
+// completes the job when it was the last one outstanding. With a
+// tracer attached the run renders as a span tree on the worker's row:
+// the run span containing its world/exec/compare phase children.
+func (st *dispatchState) runOne(w int, t task) {
 	js := t.js
-	js.out[t.run] = js.plan.RunOne(t.run)
+	var phase inject.PhaseFunc
+	if tr := st.d.Tracer; tr != nil {
+		phase = func(name string, start time.Time, d time.Duration) {
+			tr.Span(w, "run", name, start, d, nil)
+		}
+	}
+	start := time.Now()
+	js.out[t.run] = js.plan.RunOneObserved(t.run, phase)
+	d := time.Since(start)
+	st.m.runSeconds.Observe(d.Seconds())
+	if st.d.Tracer != nil {
+		run := strconv.Itoa(t.run)
+		st.d.Tracer.Span(w, "run", js.job.Label()+"#"+run, start, d, map[string]string{
+			"campaign": js.job.Label(),
+			"run":      run,
+			"fault":    js.plan.Planned(t.run).FaultID,
+		})
+	}
 	js.mu.Lock()
 	js.done++
 	st.emit(Event{Kind: EventProgress, Job: js.job, Done: js.done, Total: len(js.out)})
@@ -404,22 +512,22 @@ func (st *dispatchState) runOne(t task) {
 	last := js.left == 0
 	js.mu.Unlock()
 	if last {
-		st.completeJob(js)
+		st.completeJob(w, js)
 	}
 }
 
 // completeJob assembles the campaign result in plan order, writes it
 // back to the cache (best effort, under both fingerprints — a failure
 // on one address does not stop the other), and emits the done event.
-func (st *dispatchState) completeJob(js *jobState) {
+func (st *dispatchState) completeJob(w int, js *jobState) {
 	cr := js.cr
 	shell := js.plan.Shell()
 	shell.Injections = js.out
 	cr.Result = &shell
 	if st.d.Cache != nil {
-		err := st.d.Cache.Put(cr.Fingerprint, js.job.Label(), &shell)
+		err := st.cachePut(w, "plan", cr.Fingerprint, js.job.Label(), &shell)
 		if cr.SourceFingerprint != "" {
-			err = errors.Join(err, st.d.Cache.Put(cr.SourceFingerprint, js.job.Label(), &shell))
+			err = errors.Join(err, st.cachePut(w, "source", cr.SourceFingerprint, js.job.Label(), &shell))
 		}
 		cr.CacheErr = err
 	}

@@ -1,6 +1,9 @@
 package sched
 
-import "repro/internal/core/inject"
+import (
+	"repro/internal/core/inject"
+	"repro/internal/core/obs"
+)
 
 // Job is one suite entry: a named campaign variant to schedule.
 type Job struct {
@@ -96,6 +99,12 @@ type SuiteOptions struct {
 	// Cache, when non-nil, makes the suite incremental; see
 	// Dispatcher.Cache for the two-level fingerprint protocol.
 	Cache Cache
+	// Metrics, when non-nil, receives dispatcher telemetry; see
+	// Dispatcher.Metrics.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-run span trees; see
+	// Dispatcher.Tracer.
+	Tracer *obs.Tracer
 }
 
 // CampaignResult is one job's outcome.
@@ -162,6 +171,8 @@ func RunSuite(jobs []Job, opt SuiteOptions) *SuiteResult {
 		Engine:  opt.Engine,
 		OnEvent: opt.OnEvent,
 		Cache:   opt.Cache,
+		Metrics: opt.Metrics,
+		Tracer:  opt.Tracer,
 	}
 	return d.Run(jobs)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core/inject"
+	"repro/internal/core/obs"
 	"repro/internal/core/sched"
 )
 
@@ -57,20 +58,43 @@ const (
 type Server struct {
 	st  *Store
 	mux *http.ServeMux
+	h   http.Handler // mux, optionally wrapped in metrics middleware
+
+	entryHit, entryMiss *obs.Counter
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithServerMetrics instruments the server: every request is recorded
+// through the shared obs HTTP middleware (route/method/code counters
+// and a latency histogram), and entry lookups additionally count hits
+// and misses — the server-side view of the fleet's cache effectiveness.
+func WithServerMetrics(r *obs.Registry) ServerOption {
+	return func(s *Server) {
+		const help = "Cache entries served, by lookup result."
+		s.entryHit = r.Counter("eptest_store_entries_total", help, "result", "hit")
+		s.entryMiss = r.Counter("eptest_store_entries_total", help, "result", "miss")
+		s.h = obs.Middleware(r, s.mux)
+	}
 }
 
 // NewServer returns an http.Handler serving st.
-func NewServer(st *Store) *Server {
+func NewServer(st *Store, opts ...ServerOption) *Server {
 	s := &Server{st: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET "+metaPath, s.meta)
 	s.mux.HandleFunc("GET "+campaignsPath+"{fp}", s.getCampaign)
 	s.mux.HandleFunc("PUT "+campaignsPath+"{fp}", s.putCampaign)
 	s.mux.HandleFunc("PUT "+shardsPath+"{spec}", s.putShard)
+	s.h = s.mux
+	for _, o := range opts {
+		o(s)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
 
 // meta reports the server's format and engine versions, so operators
 // (and the CI smoke job) can probe liveness and compatibility.
@@ -112,9 +136,11 @@ func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := os.ReadFile(s.st.entryPath(fp))
 	if err != nil {
+		s.entryMiss.Inc()
 		http.Error(w, "no entry for "+fp, http.StatusNotFound)
 		return
 	}
+	s.entryHit.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
 }
@@ -255,6 +281,13 @@ type DialOption func(*Client)
 // every request, matching a server started with -auth-token.
 func WithToken(token string) DialOption {
 	return func(c *Client) { c.token = token }
+}
+
+// WithMetrics instruments the client's transport: every request to the
+// cache server is recorded as eptest_http_client_* counters and
+// latency samples in r, labelled by normalised route.
+func WithMetrics(r *obs.Registry) DialOption {
+	return func(c *Client) { c.hc.Transport = obs.RoundTripper(r, c.hc.Transport) }
 }
 
 // ValidateBaseURL normalises a server base URL for any of the repo's
