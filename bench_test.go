@@ -705,6 +705,7 @@ func BenchmarkSuiteMatrix(b *testing.B) {
 		b.Fatalf("matrix emits %d jobs, want >= 10x the base catalog", len(jobs))
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		var runs int
 		for i := 0; i < b.N; i++ {
 			sr := sched.RunSuite(jobs, sched.SuiteOptions{Workers: runtime.GOMAXPROCS(0)})
@@ -720,6 +721,7 @@ func BenchmarkSuiteMatrix(b *testing.B) {
 		b.ReportMetric(float64(runs), "runs")
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		st, err := store.Open(b.TempDir())
 		if err != nil {
 			b.Fatal(err)
@@ -737,6 +739,42 @@ func BenchmarkSuiteMatrix(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(jobs)), "campaigns")
 	})
+}
+
+// --- World snapshots (copy-on-write fork vs fresh build) ---
+
+// BenchmarkWorldSnapshotFork measures the per-run world cost with the
+// snapshot seam on: every iteration forks the app's memoized frozen
+// image — the price each injection run now pays for a private world.
+func BenchmarkWorldSnapshotFork(b *testing.B) {
+	for _, spec := range apps.Catalog() {
+		c := spec.Vulnerable()
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			c.World() // prime the package image outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.World()
+			}
+		})
+	}
+}
+
+// BenchmarkWorldFreshBuild is the same worlds with snapshots disabled —
+// the full construction cost every injection run paid before the seam.
+// The gap to BenchmarkWorldSnapshotFork is the tentpole win.
+func BenchmarkWorldFreshBuild(b *testing.B) {
+	inject.SetWorldSnapshots(false)
+	defer inject.SetWorldSnapshots(true)
+	for _, spec := range apps.Catalog() {
+		c := spec.Vulnerable()
+		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.World()
+			}
+		})
+	}
 }
 
 // BenchmarkInterpositionOverhead measures the cost the bus adds per

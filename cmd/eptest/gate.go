@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// defaultGateTolerance is the fractional throughput drop -bench-gate
+// allows before failing: CI runners are noisy, so the gate is tuned to
+// catch structural regressions (a lost snapshot seam, an accidental
+// O(n²) in the dispatcher), not single-digit-percent jitter.
+const defaultGateTolerance = 0.4
+
+// loadBenchStats reads and validates one -bench-json record.
+func loadBenchStats(path string) (benchStats, error) {
+	var bs benchStats
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return bs, err
+	}
+	if err := json.Unmarshal(b, &bs); err != nil {
+		return bs, fmt.Errorf("%s: %w", path, err)
+	}
+	if bs.Schema != benchSchemaVersion {
+		return bs, fmt.Errorf("%s: schema %q, want %q", path, bs.Schema, benchSchemaVersion)
+	}
+	if bs.RunsPerSec <= 0 {
+		return bs, fmt.Errorf("%s: runs_per_sec %v is not a throughput", path, bs.RunsPerSec)
+	}
+	return bs, nil
+}
+
+// compareBench judges a fresh run against the committed baseline. The
+// records must describe the same workload shape (catalog, filter,
+// shard, coordination mode) — comparing a matrix run against a base
+// baseline would pass or fail on workload size, not speed. A fresh
+// throughput below (1-tolerance)×baseline is a regression.
+func compareBench(baseline, current benchStats, tolerance float64) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("tolerance %v out of range [0,1)", tolerance)
+	}
+	if baseline.Catalog != current.Catalog || baseline.Filter != current.Filter ||
+		baseline.Shard != current.Shard || baseline.Coordinated != current.Coordinated {
+		return fmt.Errorf("workloads differ: baseline is catalog=%q filter=%q shard=%q coordinated=%v, fresh run is catalog=%q filter=%q shard=%q coordinated=%v",
+			baseline.Catalog, baseline.Filter, baseline.Shard, baseline.Coordinated,
+			current.Catalog, current.Filter, current.Shard, current.Coordinated)
+	}
+	if current.RunsExec == 0 {
+		return fmt.Errorf("fresh run executed zero runs (all cache hits?); the gate needs a cold run")
+	}
+	floor := baseline.RunsPerSec * (1 - tolerance)
+	if current.RunsPerSec < floor {
+		return fmt.Errorf("throughput regression: %.0f runs/sec is %.1f%% of the %.0f runs/sec baseline, below the %.0f floor (tolerance %.0f%%)",
+			current.RunsPerSec, 100*current.RunsPerSec/baseline.RunsPerSec,
+			baseline.RunsPerSec, floor, 100*tolerance)
+	}
+	return nil
+}
+
+// runBenchGate is the -bench-gate mode: read the committed baseline and
+// the fresh run's -bench-json record, print the comparison, and exit
+// non-zero on a regression.
+func runBenchGate(baselinePath, currentPath string, tolerance float64, stdout, stderr io.Writer) int {
+	baseline, err := loadBenchStats(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: -bench-gate baseline: %v\n", err)
+		return 2
+	}
+	current, err := loadBenchStats(currentPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: -bench-gate fresh run: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "bench gate: %s (%s catalog, %d runs)\n", baselinePath, baseline.Catalog, baseline.RunsTotal)
+	fmt.Fprintf(stdout, "  baseline   %10.0f runs/sec  (%.1f ms wall, %d workers)\n", baseline.RunsPerSec, baseline.WallMillis, baseline.Workers)
+	fmt.Fprintf(stdout, "  fresh run  %10.0f runs/sec  (%.1f ms wall, %d workers)\n", current.RunsPerSec, current.WallMillis, current.Workers)
+	fmt.Fprintf(stdout, "  ratio      %10.2fx        (gate floor %.2fx)\n", current.RunsPerSec/baseline.RunsPerSec, 1-tolerance)
+	if err := compareBench(baseline, current, tolerance); err != nil {
+		fmt.Fprintf(stderr, "eptest: bench gate FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "bench gate: ok")
+	return 0
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRecord(mod func(*benchStats)) benchStats {
+	bs := benchStats{
+		Schema:     benchSchemaVersion,
+		Catalog:    "base",
+		Workers:    4,
+		Jobs:       20,
+		RunsTotal:  273,
+		RunsExec:   273,
+		WallMillis: 46.2,
+		RunsPerSec: 5900,
+	}
+	if mod != nil {
+		mod(&bs)
+	}
+	return bs
+}
+
+func TestCompareBench(t *testing.T) {
+	t.Parallel()
+	base := benchRecord(nil)
+	cases := []struct {
+		name    string
+		current benchStats
+		tol     float64
+		wantErr string
+	}{
+		{"equal throughput passes", benchRecord(nil), 0.4, ""},
+		{"faster run passes", benchRecord(func(b *benchStats) { b.RunsPerSec = 9000 }), 0.4, ""},
+		{"drop inside tolerance passes", benchRecord(func(b *benchStats) { b.RunsPerSec = 3600 }), 0.4, ""},
+		{"drop beyond tolerance fails", benchRecord(func(b *benchStats) { b.RunsPerSec = 2000 }), 0.4, "throughput regression"},
+		{"tight tolerance catches small drop", benchRecord(func(b *benchStats) { b.RunsPerSec = 5000 }), 0.05, "throughput regression"},
+		{"catalog mismatch fails", benchRecord(func(b *benchStats) { b.Catalog = "matrix" }), 0.4, "workloads differ"},
+		{"filter mismatch fails", benchRecord(func(b *benchStats) { b.Filter = "lpr*" }), 0.4, "workloads differ"},
+		{"warm run fails", benchRecord(func(b *benchStats) { b.RunsExec = 0 }), 0.4, "zero runs"},
+		{"bad tolerance fails", benchRecord(nil), 1.5, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := compareBench(base, tc.current, tc.tol)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func writeBenchFile(t *testing.T, dir, name string, bs benchStats) string {
+	t.Helper()
+	b, err := json.MarshalIndent(&bs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchGateCLI drives the -bench-gate mode through run(): a healthy
+// fresh record passes, a synthetic slowdown fails with exit 1, and
+// malformed inputs are usage errors.
+func TestBenchGateCLI(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	baseline := writeBenchFile(t, dir, "baseline.json", benchRecord(nil))
+	healthy := writeBenchFile(t, dir, "healthy.json", benchRecord(func(b *benchStats) { b.RunsPerSec = 6100 }))
+	slow := writeBenchFile(t, dir, "slow.json", benchRecord(func(b *benchStats) { b.RunsPerSec = 1200 }))
+	badSchema := writeBenchFile(t, dir, "bad.json", benchRecord(func(b *benchStats) { b.Schema = "eptest-bench/999" }))
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-gate", baseline, "-bench-json", healthy}, &out, &errb); code != 0 {
+		t.Fatalf("healthy gate exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "bench gate: ok") {
+		t.Fatalf("missing verdict in output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench-gate", baseline, "-bench-json", slow}, &out, &errb); code != 1 {
+		t.Fatalf("synthetic slowdown exit = %d, want 1; stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "throughput regression") {
+		t.Fatalf("missing regression diagnosis: %s", errb.String())
+	}
+
+	// A looser explicit tolerance lets the same slow record through.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench-gate", baseline, "-bench-json", slow, "-gate-tolerance", "0.9"}, &out, &errb); code != 0 {
+		t.Fatalf("tolerant gate exit = %d, stderr = %s", code, errb.String())
+	}
+
+	for _, args := range [][]string{
+		{"-bench-gate", baseline},                                                // no fresh record
+		{"-bench-gate", baseline, "-bench-json", badSchema},                      // schema drift
+		{"-bench-gate", filepath.Join(dir, "nope.json"), "-bench-json", healthy}, // missing baseline
+		{"-bench-gate", baseline, "-bench-json", healthy, "-all"},                // mode conflict
+		{"-gate-tolerance", "0.2"},                                               // tolerance without gate
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2; stderr = %s", args, code, errb.String())
+		}
+	}
+}

@@ -51,6 +51,7 @@
 //	eptest -all [-matrix] [-filter GLOB] -coord-url URL [-worker NAME] [-j N]
 //	eptest -all ... [-trace FILE] [-metrics-json FILE] [-pprof ADDR]
 //	eptest -merge DIR [-matrix]
+//	eptest -bench-gate BASELINE.json -bench-json FRESH.json [-gate-tolerance F]
 //	eptest -serve-cache ADDR -cache DIR [-auth-token TOKEN] [-pprof ADDR]
 //	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-auth-token TOKEN] [-pprof ADDR]
 package main
@@ -137,7 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workerName = fs.String("worker", "", "with -coord-url: worker name shown in the coordinator report (default host-pid)")
 		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
 		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
-		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE")
+		snapshots  = fs.Bool("snapshots", true, "build each campaign world once and fork copy-on-write snapshots per injection run; -snapshots=false rebuilds every world from scratch (byte-identical results, for cross-checking)")
+		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE; with -bench-gate: the fresh run's record to judge")
+		benchGate  = fs.String("bench-gate", "", "compare the fresh -bench-json FILE against this committed baseline record and fail on a throughput regression (see -gate-tolerance)")
+		gateTol    = fs.Float64("gate-tolerance", defaultGateTolerance, "with -bench-gate: allowed fractional throughput drop before the gate fails (0.4 = fail below 60% of baseline)")
 		traceFile  = fs.String("trace", "", "with -all: record every injection run, cache round trip and coordinator call as a Chrome trace_event FILE (open in chrome://tracing or Perfetto)")
 		metricsOut = fs.String("metrics-json", "", "with -all: dump the worker's metrics registry (counters, gauges, histograms) to FILE after the run")
 		pprofAddr  = fs.String("pprof", "", "with -all, -serve-cache or -serve-coord: serve net/http/pprof (plus /metrics) on a side listener at ADDR (e.g. localhost:6060)")
@@ -145,6 +149,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// Applied unconditionally (not only when the flag is passed): run() is
+	// re-entered by tests, and the toggle is process-wide.
+	inject.SetWorldSnapshots(*snapshots)
 
 	if *workers < 1 {
 		fmt.Fprintf(stderr, "eptest: -j %d is not a worker count; pass how many injection runs may execute concurrently (-j 1 for sequential, -j 8 for eight workers)\n", *workers)
@@ -156,6 +163,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *lease != coord.DefaultLeaseTTL && *serveCoord == "" {
 		fmt.Fprintln(stderr, "eptest: -lease is a coordinator-side setting; it needs -serve-coord (workers inherit the TTL at registration)")
+		return 2
+	}
+	if *benchGate != "" {
+		if *list || *all || *campaign != "" || *merge != "" || *serveCache != "" || *serveCoord != "" {
+			fmt.Fprintln(stderr, "eptest: -bench-gate runs alone, comparing two bench-json records; produce the fresh one first with `eptest -all -bench-json FILE`")
+			return 2
+		}
+		if *benchJSON == "" {
+			fmt.Fprintln(stderr, "eptest: -bench-gate needs -bench-json FILE naming the fresh run's record")
+			return 2
+		}
+		return runBenchGate(*benchGate, *benchJSON, *gateTol, stdout, stderr)
+	}
+	if *gateTol != defaultGateTolerance {
+		fmt.Fprintln(stderr, "eptest: -gate-tolerance does nothing without -bench-gate")
 		return 2
 	}
 	if (*traceFile != "" || *metricsOut != "") && !*all {

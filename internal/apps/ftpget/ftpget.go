@@ -186,35 +186,41 @@ func printable(s string) bool {
 // World stages the mirror service with its three-message script and the
 // download directory.
 func World(prog kernel.Program) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
-		k := kernel.New()
-		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
-		k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
-		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
-		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$FTPHASH$:1:\n"), 0o600, 0, 0))
-		must(k.FS.MkdirAll("/", DownloadDir, 0o755, InvokerUID, InvokerUID))
-		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
-		k.Net = netsim.New()
-		k.Net.AddDNS(MirrorHost, MirrorAddr)
-		k.Net.AddService(&netsim.Service{
-			Addr: MirrorAddr + MirrorPort, Host: MirrorHost,
-			Available: true, Trusted: true,
-			Script: []netsim.Message{
-				{From: MirrorHost, Data: []byte("220 mirror ready"), Authentic: true},
-				{From: MirrorHost, Data: []byte("hw.dat"), Authentic: true},
-				{From: MirrorHost, Data: []byte("payload-bytes-of-hw.dat"), Authentic: true},
-			},
-			Steps: []string{"RETR"},
-		})
-		return k, inject.Launch{
-			Cred: proc.NewCred(InvokerUID, InvokerUID),
-			Env:  proc.NewEnv("PATH", "/usr/bin"),
-			Cwd:  "/home/alice",
-			Args: []string{"ftpget", MirrorHost, "latest"},
-			Prog: prog,
-		}
-	}
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		return l
+	})
 }
+
+// image memoizes the variant-independent ftpget world; runs fork it
+// copy-on-write (the network script is deep-cloned per fork).
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+	k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
+	must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$FTPHASH$:1:\n"), 0o600, 0, 0))
+	must(k.FS.MkdirAll("/", DownloadDir, 0o755, InvokerUID, InvokerUID))
+	must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	k.Net = netsim.New()
+	k.Net.AddDNS(MirrorHost, MirrorAddr)
+	k.Net.AddService(&netsim.Service{
+		Addr: MirrorAddr + MirrorPort, Host: MirrorHost,
+		Available: true, Trusted: true,
+		Script: []netsim.Message{
+			{From: MirrorHost, Data: []byte("220 mirror ready"), Authentic: true},
+			{From: MirrorHost, Data: []byte("hw.dat"), Authentic: true},
+			{From: MirrorHost, Data: []byte("payload-bytes-of-hw.dat"), Authentic: true},
+		},
+		Steps: []string{"RETR"},
+	})
+	return k, inject.Launch{
+		Cred: proc.NewCred(InvokerUID, InvokerUID),
+		Env:  proc.NewEnv("PATH", "/usr/bin"),
+		Cwd:  "/home/alice",
+		Args: []string{"ftpget", MirrorHost, "latest"},
+	}
+})
 
 // Campaign perturbs the client's network surface.
 func Campaign(prog kernel.Program) inject.Campaign {

@@ -111,29 +111,36 @@ func Fixed(p *kernel.Proc) int {
 	return 0
 }
 
+// image memoizes the lpr world: its content is identical for every program
+// variant, so one frozen snapshot serves the whole catalog and each run
+// forks it copy-on-write.
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+	k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
+	must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\nalice:x:100:100::/home/alice:/bin/sh\n"), 0o644, 0, 0))
+	must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$SECRETHASH$abcdef:10000:\n"), 0o600, 0, 0))
+	must(k.FS.MkdirAll("/", SpoolDir, 0o777, 0, 0))
+	must(k.FS.MkdirAll("/", "/home/alice", 0o755, InvokerUID, InvokerUID))
+	must(k.FS.WriteFile("/home/alice/doc.txt", []byte("the document to print\n"), 0o644, InvokerUID, InvokerUID))
+	must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	return k, inject.Launch{
+		Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0}, // set-UID root
+		Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "HOME", "/home/alice"),
+		Cwd:  "/home/alice",
+		Args: []string{"lpr", "doc.txt"},
+	}
+})
+
 // World builds the lpr environment: a world-writable spool directory (the
 // precondition for the attack — any user may queue jobs), the invoker's
 // document, and the protected system files the attack aims at.
 func World(prog kernel.Program) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
-		k := kernel.New()
-		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
-		k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
-		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
-		must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\nalice:x:100:100::/home/alice:/bin/sh\n"), 0o644, 0, 0))
-		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$SECRETHASH$abcdef:10000:\n"), 0o600, 0, 0))
-		must(k.FS.MkdirAll("/", SpoolDir, 0o777, 0, 0))
-		must(k.FS.MkdirAll("/", "/home/alice", 0o755, InvokerUID, InvokerUID))
-		must(k.FS.WriteFile("/home/alice/doc.txt", []byte("the document to print\n"), 0o644, InvokerUID, InvokerUID))
-		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
-		return k, inject.Launch{
-			Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0}, // set-UID root
-			Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "HOME", "/home/alice"),
-			Cwd:  "/home/alice",
-			Args: []string{"lpr", "doc.txt"},
-			Prog: prog,
-		}
-	}
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		return l
+	})
 }
 
 // Campaign returns the full lpr fault-injection campaign.

@@ -152,30 +152,36 @@ func parseOctal(s string) vfs.Mode {
 // the attacker's sendmail in the directory the untrusted-path perturbation
 // prepends.
 func World(prog kernel.Program) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
-		k := kernel.New()
-		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
-		k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
-		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
-		must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0\n"), 0o644, 0, 0))
-		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$MAILHASH$:1:\n"), 0o600, 0, 0))
-		must(k.FS.MkdirAll("/", MailDir, 0o755, 0, 0))
-		must(k.FS.WriteFile(MailDir+"/alice", []byte("From: bob\nTo: alice\n\nolder mail\n"), 0o600, InvokerUID, InvokerUID))
-		must(k.FS.MkdirAll("/", "/usr/bin", 0o755, 0, 0))
-		must(k.FS.WriteFile(Sendmail, []byte("#!"), 0o755, 0, 0))
-		must(k.FS.MkdirAll("/", HijackDir, 0o777, AttackerUID, AttackerUID))
-		must(k.FS.WriteFile(HijackDir+"/sendmail", []byte("#!"), 0o777, AttackerUID, AttackerUID))
-		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
-		k.PostMessage("mailqueue", []byte("From: bob\nTo: alice\n\nhello alice\n"))
-		return k, inject.Launch{
-			Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0},
-			Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "UMASK", "077"),
-			Cwd:  "/",
-			Args: []string{"maildrop"},
-			Prog: prog,
-		}
-	}
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		return l
+	})
 }
+
+// image memoizes the variant-independent maildrop world; runs fork it
+// copy-on-write (mailbox queues are deep-copied per fork).
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+	k.Users.Add(proc.User{Name: "mallory", UID: AttackerUID, GID: AttackerUID})
+	must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0\n"), 0o644, 0, 0))
+	must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$MAILHASH$:1:\n"), 0o600, 0, 0))
+	must(k.FS.MkdirAll("/", MailDir, 0o755, 0, 0))
+	must(k.FS.WriteFile(MailDir+"/alice", []byte("From: bob\nTo: alice\n\nolder mail\n"), 0o600, InvokerUID, InvokerUID))
+	must(k.FS.MkdirAll("/", "/usr/bin", 0o755, 0, 0))
+	must(k.FS.WriteFile(Sendmail, []byte("#!"), 0o755, 0, 0))
+	must(k.FS.MkdirAll("/", HijackDir, 0o777, AttackerUID, AttackerUID))
+	must(k.FS.WriteFile(HijackDir+"/sendmail", []byte("#!"), 0o777, AttackerUID, AttackerUID))
+	must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	k.PostMessage("mailqueue", []byte("From: bob\nTo: alice\n\nhello alice\n"))
+	return k, inject.Launch{
+		Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0},
+		Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "UMASK", "077"),
+		Cwd:  "/",
+		Args: []string{"maildrop"},
+	}
+})
 
 // Campaign perturbs the delivery agent's input channels: the queue, the
 // environment mask, the implicit PATH lookup, and the exec object.

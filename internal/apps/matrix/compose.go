@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/core/eai"
@@ -44,12 +45,25 @@ func Compose(members ...apps.Spec) apps.Spec {
 	}
 	name := strings.Join(names, "+")
 	build := func(variant func(apps.Spec) func() inject.Campaign) func() inject.Campaign {
+		// One memoized world image per variant: matrix cells regenerate
+		// the campaign value per cell, but the merged composition world is
+		// identical across cells (only engine options and site cuts
+		// differ), so every cell forks one shared frozen snapshot instead
+		// of re-grafting the member worlds. The launch carries the member
+		// programs, so the image cannot be shared across variants.
+		var (
+			imgOnce sync.Once
+			img     *inject.WorldImage
+		)
 		return func() inject.Campaign {
 			cs := make([]inject.Campaign, len(members))
 			for i, m := range members {
 				cs[i] = variant(m)()
 			}
-			return composeCampaign(name, cs)
+			c := composeCampaign(name, cs)
+			imgOnce.Do(func() { img = inject.NewWorldImage(c.World) })
+			c.World = img.Factory()
+			return c
 		}
 	}
 	return apps.Spec{

@@ -75,8 +75,21 @@ const UnconsumedKeyCount = 20
 
 // World builds the NT machine: registry hives, the protected system
 // files, the font store, user profiles, and the attacker's staging area.
+// The machine image is identical for every module and argument list, so
+// one memoized snapshot serves all of them; the variant enters through the
+// launch description only.
 func World(prog kernel.Program, args ...string) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		l.Args = append([]string{"module"}, args...)
+		return l
+	})
+}
+
+// image memoizes the variant-independent NT world; runs fork it
+// copy-on-write (registry hives are deep-cloned per fork).
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	{
 		k := kernel.New()
 		k.Users.Add(proc.User{Name: "admin", UID: AdminUID, GID: 0})
 		k.Users.Add(proc.User{Name: "user", UID: UserUID, GID: UserUID})
@@ -137,11 +150,9 @@ func World(prog kernel.Program, args ...string) inject.Factory {
 			Cred: proc.NewCred(AdminUID, 0), // administrators run the modules
 			Env:  proc.NewEnv("PATH", SystemDir),
 			Cwd:  "/",
-			Args: append([]string{"module"}, args...),
-			Prog: prog,
 		}
 	}
-}
+})
 
 func vendorKey(i int) string {
 	return `HKLM\Software\Vendor` + string(rune('A'+i)) + `\Settings`

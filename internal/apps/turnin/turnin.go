@@ -271,37 +271,43 @@ func run(p *kernel.Proc, fixed bool) int {
 // payload root (a Projlist symlinked to /etc/shadow, ready for the
 // trusted-config redirection).
 func World(prog kernel.Program) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
-		k := kernel.New()
-		k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
-		k.Users.Add(proc.User{Name: "cs352ta", UID: TAUID, GID: TAUID})
-		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
-		must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\nalice:x:100:100::/home/alice:/bin/sh\n"), 0o644, 0, 0))
-		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$SECRETHASH$abcdef:10000:\nalice:$1$STUDENThash$:10000:\n"), 0o600, 0, 0))
-		must(k.FS.MkdirAll("/", "/usr/local/lib", 0o755, 0, 0))
-		must(k.FS.WriteFile(ConfigPath, []byte("cs101 /u/cs101\ncs352 "+CourseRoot+"\n"), 0o644, 0, 0))
-		must(k.FS.MkdirAll("/", CourseRoot, 0o755, TAUID, TAUID))
-		must(k.FS.WriteFile(Projlist, []byte("assignment1\nassignment2\n"), 0o644, TAUID, TAUID))
-		must(k.FS.MkdirAll("/", SubmitDir, 0o700, TAUID, TAUID))
-		must(k.FS.WriteFile(CourseRoot+"/.login", []byte("setenv SHELL /bin/csh\n"), 0o644, TAUID, TAUID))
-		must(k.FS.MkdirAll("/", "/home/alice", 0o755, InvokerUID, InvokerUID))
-		must(k.FS.WriteFile("/home/alice/hw1.c", []byte("int main(void){return 42;}\n"), 0o644, InvokerUID, InvokerUID))
-		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
-		// The attacker's staged course root.
-		must(k.FS.MkdirAll("/", StagedRoot, 0o755, InvokerUID, InvokerUID))
-		if _, err := k.FS.Symlink("/", "/etc/shadow", StagedRoot+"/Projlist", InvokerUID, InvokerUID); err != nil {
-			panic(err)
-		}
-		must(k.FS.WriteFile(StagedRoot+"/turnin.cf", []byte("cs352 "+StagedRoot+"\n"), 0o644, InvokerUID, InvokerUID))
-		return k, inject.Launch{
-			Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0}, // set-UID root
-			Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "HOME", "/home/alice"),
-			Cwd:  "/home/alice",
-			Args: []string{"turnin", "-c", "cs352", "-p", "assignment1", "hw1.c"},
-			Prog: prog,
-		}
-	}
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		return l
+	})
 }
+
+// image memoizes the variant-independent turnin world; runs fork it
+// copy-on-write.
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "alice", UID: InvokerUID, GID: InvokerUID})
+	k.Users.Add(proc.User{Name: "cs352ta", UID: TAUID, GID: TAUID})
+	must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	must(k.FS.WriteFile("/etc/passwd", []byte("root:x:0:0:root:/:/bin/sh\nalice:x:100:100::/home/alice:/bin/sh\n"), 0o644, 0, 0))
+	must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$SECRETHASH$abcdef:10000:\nalice:$1$STUDENThash$:10000:\n"), 0o600, 0, 0))
+	must(k.FS.MkdirAll("/", "/usr/local/lib", 0o755, 0, 0))
+	must(k.FS.WriteFile(ConfigPath, []byte("cs101 /u/cs101\ncs352 "+CourseRoot+"\n"), 0o644, 0, 0))
+	must(k.FS.MkdirAll("/", CourseRoot, 0o755, TAUID, TAUID))
+	must(k.FS.WriteFile(Projlist, []byte("assignment1\nassignment2\n"), 0o644, TAUID, TAUID))
+	must(k.FS.MkdirAll("/", SubmitDir, 0o700, TAUID, TAUID))
+	must(k.FS.WriteFile(CourseRoot+"/.login", []byte("setenv SHELL /bin/csh\n"), 0o644, TAUID, TAUID))
+	must(k.FS.MkdirAll("/", "/home/alice", 0o755, InvokerUID, InvokerUID))
+	must(k.FS.WriteFile("/home/alice/hw1.c", []byte("int main(void){return 42;}\n"), 0o644, InvokerUID, InvokerUID))
+	must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	// The attacker's staged course root.
+	must(k.FS.MkdirAll("/", StagedRoot, 0o755, InvokerUID, InvokerUID))
+	if _, err := k.FS.Symlink("/", "/etc/shadow", StagedRoot+"/Projlist", InvokerUID, InvokerUID); err != nil {
+		panic(err)
+	}
+	must(k.FS.WriteFile(StagedRoot+"/turnin.cf", []byte("cs352 "+StagedRoot+"\n"), 0o644, InvokerUID, InvokerUID))
+	return k, inject.Launch{
+		Cred: proc.Cred{UID: InvokerUID, GID: InvokerUID, EUID: 0, EGID: 0}, // set-UID root
+		Env:  proc.NewEnv("PATH", "/usr/bin:/bin", "HOME", "/home/alice"),
+		Cwd:  "/home/alice",
+		Args: []string{"turnin", "-c", "cs352", "-p", "assignment1", "hw1.c"},
+	}
+})
 
 // Sites are the paper's "8 interaction places where programmers could
 // possibly have made assumptions about the environment".

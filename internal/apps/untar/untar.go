@@ -135,32 +135,38 @@ func mkdirAll(p *kernel.Proc, dir string) error {
 // World stages the TA's tree with a legitimate student submission archive
 // and the TA's login script.
 func World(prog kernel.Program) inject.Factory {
-	return func() (*kernel.Kernel, inject.Launch) {
-		k := kernel.New()
-		k.Users.Add(proc.User{Name: "cs352ta", UID: TAUID, GID: TAUID})
-		k.Users.Add(proc.User{Name: "alice", UID: StudentUID, GID: StudentUID})
-		must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
-		must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$TARHASH$:1:\n"), 0o600, 0, 0))
-		must(k.FS.MkdirAll("/", GradingDir, 0o700, TAUID, TAUID))
-		must(k.FS.MkdirAll("/", TAHome+"/submit/assignment1", 0o700, TAUID, TAUID))
-		must(k.FS.WriteFile(LoginScript, []byte("setenv SHELL /bin/csh\n"), 0o644, TAUID, TAUID))
-		must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
-		legit := archive.Pack([]archive.Entry{
-			{Name: "hw1.c", Mode: 0o644, Data: []byte("int main(void){return 42;}\n")},
-			{Name: "docs/README", Mode: 0o644, Data: []byte("assignment 1 submission\n")},
-		})
-		// Stored by the set-UID turnin, chowned to the course account so
-		// the TA can grade it.
-		must(k.FS.WriteFile(Submission, legit, 0o600, TAUID, TAUID))
-		return k, inject.Launch{
-			Cred: proc.NewCred(TAUID, TAUID), // the TA's own authority
-			Env:  proc.NewEnv("PATH", "/usr/bin"),
-			Cwd:  GradingDir,
-			Args: []string{"untar", Submission},
-			Prog: prog,
-		}
-	}
+	return image.FactoryWith(func(l inject.Launch) inject.Launch {
+		l.Prog = prog
+		return l
+	})
 }
+
+// image memoizes the variant-independent untar world; runs fork it
+// copy-on-write.
+var image = inject.NewWorldImage(func() (*kernel.Kernel, inject.Launch) {
+	k := kernel.New()
+	k.Users.Add(proc.User{Name: "cs352ta", UID: TAUID, GID: TAUID})
+	k.Users.Add(proc.User{Name: "alice", UID: StudentUID, GID: StudentUID})
+	must(k.FS.MkdirAll("/", "/etc", 0o755, 0, 0))
+	must(k.FS.WriteFile("/etc/shadow", []byte("root:$1$TARHASH$:1:\n"), 0o600, 0, 0))
+	must(k.FS.MkdirAll("/", GradingDir, 0o700, TAUID, TAUID))
+	must(k.FS.MkdirAll("/", TAHome+"/submit/assignment1", 0o700, TAUID, TAUID))
+	must(k.FS.WriteFile(LoginScript, []byte("setenv SHELL /bin/csh\n"), 0o644, TAUID, TAUID))
+	must(k.FS.MkdirAll("/", "/tmp", 0o777, 0, 0))
+	legit := archive.Pack([]archive.Entry{
+		{Name: "hw1.c", Mode: 0o644, Data: []byte("int main(void){return 42;}\n")},
+		{Name: "docs/README", Mode: 0o644, Data: []byte("assignment 1 submission\n")},
+	})
+	// Stored by the set-UID turnin, chowned to the course account so
+	// the TA can grade it.
+	must(k.FS.WriteFile(Submission, legit, 0o600, TAUID, TAUID))
+	return k, inject.Launch{
+		Cred: proc.NewCred(TAUID, TAUID), // the TA's own authority
+		Env:  proc.NewEnv("PATH", "/usr/bin"),
+		Cwd:  GradingDir,
+		Args: []string{"untar", Submission},
+	}
+})
 
 // MaliciousArchive is the student's crafted payload: a "../.login" member
 // that overwrites the TA's login script, plus an overlong member name that

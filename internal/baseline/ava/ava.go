@@ -58,10 +58,17 @@ func Run(name string, world inject.Factory, pol policy.Policy, opt Options) Resu
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := Result{Name: name, ViolationKinds: make(map[policy.Kind]int)}
+	// The snapshot seam: build the world once, fork it per trial, and use
+	// the frozen image directly as the oracle's pre-run state instead of
+	// deep-cloning the filesystem every trial.
+	ws := inject.NewRunWorld(world)
 	for i := 0; i < opt.Trials; i++ {
 		res.Trials++
-		k, l := world()
-		snap := k.FS.Clone()
+		k, l := ws.World()
+		snap := ws.BaseFS()
+		if snap == nil {
+			snap = k.FS.Clone()
+		}
 		k.Bus.OnPost(func(c *interpose.Call, r *interpose.Result) {
 			if !c.Op.HasInput() || r.Err != nil || r.Data == nil {
 				return

@@ -67,9 +67,11 @@ func Run(t Target, opt Options) Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := Result{Name: t.Name}
+	// The snapshot seam: one world build, one copy-on-write fork per trial.
+	ws := inject.NewRunWorld(t.World)
 	for i := 0; i < opt.Trials; i++ {
 		res.Trials++
-		k, l := t.World()
+		k, l := ws.World()
 		k.Bus.OnPost(func(c *interpose.Call, r *interpose.Result) {
 			if !c.Op.HasInput() || r.Err != nil {
 				return

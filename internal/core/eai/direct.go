@@ -213,6 +213,7 @@ func fileFaults() []DirectFault {
 					}
 					return nil
 				}
+				n = ctx.Kern.FS.Own(n)
 				if n.UID == ctx.Cfg.Attacker.UID {
 					n.UID, n.GID = 0, 0
 				} else {
@@ -235,6 +236,7 @@ func fileFaults() []DirectFault {
 				}
 				// Restrict to root: the Projlist perturbation of §4.1
 				// ("making it only readable by root").
+				n = ctx.Kern.FS.Own(n)
 				n.UID, n.GID = 0, 0
 				n.Mode = 0o600
 				if n.Type == vfs.TypeDir {
@@ -258,6 +260,7 @@ func fileFaults() []DirectFault {
 				}
 				if n != nil {
 					if n.Type == vfs.TypeSymlink {
+						n = ctx.Kern.FS.Own(n)
 						n.Target = target
 						n.Gen++
 						return nil
@@ -284,6 +287,7 @@ func fileFaults() []DirectFault {
 				if n == nil || n.Type != vfs.TypeRegular {
 					return ErrNotApplicable
 				}
+				n = ctx.Kern.FS.Own(n)
 				n.Data = append([]byte(nil), ctx.Cfg.AttackerContent...)
 				n.Gen++
 				return nil

@@ -18,6 +18,11 @@ type ExecPlan struct {
 	opt      Options
 	shell    *Result
 	plans    []planned
+	// world hands out per-run worlds: copy-on-write forks of one frozen
+	// clean image when snapshots are enabled, fresh factory builds
+	// otherwise. One snapshot serves every run of the plan — including
+	// runs executed concurrently by the sched dispatcher's workers.
+	world *worldSource
 }
 
 // Prepare materialises the campaign's execution plan under default
@@ -28,11 +33,15 @@ func Prepare(c Campaign) (*ExecPlan, error) { return PrepareWith(c, Options{}) }
 // the interaction-point enumeration, and the per-point fault lists.
 func PrepareWith(c Campaign, opt Options) (*ExecPlan, error) {
 	c.Faults = c.Faults.WithDefaults()
-	pr, err := planCampaign(c, opt)
+	ws, err := newWorldSource(c)
 	if err != nil {
 		return nil, err
 	}
-	return &ExecPlan{campaign: c, opt: opt, shell: pr.result, plans: pr.plans}, nil
+	pr, err := planCampaign(c, opt, ws)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecPlan{campaign: c, opt: opt, shell: pr.result, plans: pr.plans, world: ws}, nil
 }
 
 // NumRuns is the number of injection runs the plan schedules.
@@ -60,10 +69,10 @@ func (p *ExecPlan) Planned(i int) PlannedInjection {
 }
 
 // RunOne executes injection run i (steps 6-8) in a fresh world and
-// returns its outcome. It is safe for concurrent use: every call builds
-// its own kernel and mutates only its own Injection.
+// returns its outcome. It is safe for concurrent use: every call forks (or
+// builds) its own kernel and mutates only its own Injection.
 func (p *ExecPlan) RunOne(i int) Injection {
-	return runOne(p.campaign, p.opt, p.plans[i], nil)
+	return runOne(p.campaign, p.opt, p.plans[i], nil, p.world)
 }
 
 // PhaseFunc observes the internal phases of one injection run as they
@@ -78,7 +87,7 @@ type PhaseFunc func(phase string, start time.Time, d time.Duration)
 // hook the suite tracer uses to render each run as a plan→exec→compare
 // span tree. fn may be nil, making it exactly RunOne.
 func (p *ExecPlan) RunOneObserved(i int, fn PhaseFunc) Injection {
-	return runOne(p.campaign, p.opt, p.plans[i], fn)
+	return runOne(p.campaign, p.opt, p.plans[i], fn, p.world)
 }
 
 // Shell returns a copy of the campaign result with the planning fields

@@ -68,6 +68,12 @@ type Campaign struct {
 	// world builder or program changes. Empty disables source-level
 	// caching; the trace-pinned plan fingerprint still applies.
 	Source string
+	// NoSnapshot opts the campaign out of copy-on-write world snapshots:
+	// every run rebuilds through World even when snapshots are globally
+	// enabled. For factories with per-call side effects the engine cannot
+	// see (e.g. a world drawn from an external data source). Not
+	// fingerprint material — snapshotting never changes a result byte.
+	NoSnapshot bool
 }
 
 // Options are engine variations used by the ablation benchmarks. The zero
@@ -220,9 +226,9 @@ func objectIdentity(call *interpose.Call) string {
 // runOne performs a single fault-injection run (steps 6-8). phase, when
 // non-nil, observes the world/exec/compare segments; it deliberately
 // lives outside Options so telemetry never perturbs cache fingerprints.
-func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc) Injection {
+func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSource) Injection {
 	worldStart := time.Now()
-	k, l := c.World()
+	k, l := ws.world()
 	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
 
 	inj := Injection{
@@ -233,8 +239,12 @@ func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc) Injection {
 
 	// Snap defaults to the pre-run world; a direct fault replaces it with
 	// the post-injection world so the oracle judges against what the
-	// attacker actually arranged.
-	snap := k.FS.Clone()
+	// attacker actually arranged. In snapshot mode the frozen base image
+	// *is* the pre-run world, so the defensive clone is free.
+	snap := ws.baseFS()
+	if snap == nil {
+		snap = k.FS.Clone()
+	}
 	armed := false
 
 	switch {

@@ -173,7 +173,11 @@ func RunUntilAdequate(c Campaign, icThreshold float64) (*Result, int, error) {
 // Catalog generators use it to enumerate a campaign's perturbable
 // surface cheaply (no per-site probe worlds are built).
 func CleanSites(c Campaign) ([]string, error) {
-	k, err := cleanRun(c)
+	if c.World == nil {
+		return nil, ErrNoWorld
+	}
+	// A single probe run gains nothing from snapshotting; build directly.
+	k, err := cleanRun(&worldSource{factory: c.World})
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +188,8 @@ func CleanSites(c Campaign) ([]string, error) {
 // world — and returns the kernel holding the recorded trace. Shared
 // by planning and the CleanSites probe so the two can never diverge
 // on clean-run semantics.
-func cleanRun(c Campaign) (*kernel.Kernel, error) {
-	if c.World == nil {
-		return nil, ErrNoWorld
-	}
-	k, l := c.World()
+func cleanRun(ws *worldSource) (*kernel.Kernel, error) {
+	k, l := ws.world()
 	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
 	if _, crash := k.Run(p, l.Prog); crash != nil {
 		return nil, fmt.Errorf("%w: %s", ErrCleanCrash, crash.Msg)
@@ -240,11 +241,13 @@ type planResult struct {
 }
 
 // planCampaign performs steps 2-5 (clean run, point enumeration, fault
-// lists) and returns both the planning state and the result shell.
-func planCampaign(c Campaign, opt Options) (*planResult, error) {
+// lists) and returns both the planning state and the result shell. The
+// clean run and every per-site probe world come from ws — in snapshot mode
+// each is a cheap fork of the one frozen image instead of a fresh build.
+func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error) {
 	c.Faults = c.Faults.WithDefaults()
 
-	clean, err := cleanRun(c)
+	clean, err := cleanRun(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +283,10 @@ func planCampaign(c Campaign, opt Options) (*planResult, error) {
 
 		if !opt.OnlyIndirect {
 			if ent := eai.EntityForKind(ev.Call.Kind); ent != 0 {
-				probe, probeLaunch := c.World()
+				// Applies predicates are read-only, but each site still
+				// probes a private world so a (hypothetical) mutating
+				// predicate could never leak across sites.
+				probe, probeLaunch := ws.world()
 				call := ev.Call
 				ctx := &eai.Ctx{
 					Kern:   probe,

@@ -1,0 +1,146 @@
+package inject
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vfs"
+)
+
+// worldSnapshots is the process-wide snapshot toggle, on by default. It is
+// deliberately not an Options field: engine options are cache-fingerprint
+// material and are wholesale-replaced by per-job overrides in the matrix
+// sweeps, while snapshotting is a pure execution strategy that must never
+// change a result byte. The -snapshots CLI flag and the byte-identity
+// tests flip it.
+var worldSnapshots atomic.Bool
+
+func init() { worldSnapshots.Store(true) }
+
+// SetWorldSnapshots enables or disables copy-on-write world snapshots for
+// every subsequently prepared campaign.
+func SetWorldSnapshots(on bool) { worldSnapshots.Store(on) }
+
+// WorldSnapshots reports whether world snapshotting is enabled.
+func WorldSnapshots() bool { return worldSnapshots.Load() }
+
+// worldSource hands out per-run worlds for one campaign. In snapshot mode
+// it invokes the campaign factory once, freezes the result as the clean
+// image, and forks a mutable kernel per request; otherwise every request
+// rebuilds through the factory, byte-identically to the pre-snapshot
+// engine.
+type worldSource struct {
+	factory Factory
+	snap    *kernel.Snapshot
+	launch  Launch
+}
+
+// newWorldSource captures the campaign's world strategy. The factory is
+// not invoked here for the fallback path, so a campaign whose factory
+// panics lazily behaves exactly as before.
+func newWorldSource(c Campaign) (*worldSource, error) {
+	if c.World == nil {
+		return nil, ErrNoWorld
+	}
+	if !WorldSnapshots() || c.NoSnapshot {
+		return &worldSource{factory: c.World}, nil
+	}
+	k, l := c.World()
+	return &worldSource{snap: k.Snapshot(), launch: l}, nil
+}
+
+// world returns a fresh mutable kernel and launch description.
+func (ws *worldSource) world() (*kernel.Kernel, Launch) {
+	if ws.snap != nil {
+		return ws.snap.Fork(), ws.launch
+	}
+	return ws.factory()
+}
+
+// baseFS returns the frozen clean-world filesystem, or nil when the source
+// rebuilds per run. The oracle uses it directly as the pre-run state
+// snapshot — it is immutable, so no defensive clone is needed.
+func (ws *worldSource) baseFS() *vfs.FS {
+	if ws.snap != nil {
+		return ws.snap.FS()
+	}
+	return nil
+}
+
+// RunWorld is the snapshot seam for out-of-engine consumers — the
+// Section 5 baseline comparators and any other repeated-trial harness.
+// It wraps an arbitrary world factory so each trial forks one frozen
+// image instead of rebuilding, and exposes the frozen clean filesystem
+// for oracle state snapshots. When snapshots are globally disabled it
+// degrades to calling the factory per trial, byte-identically.
+type RunWorld struct {
+	ws worldSource
+}
+
+// NewRunWorld captures the factory's world. In snapshot mode the factory
+// runs exactly once, here.
+func NewRunWorld(f Factory) *RunWorld {
+	if !WorldSnapshots() {
+		return &RunWorld{ws: worldSource{factory: f}}
+	}
+	k, l := f()
+	return &RunWorld{ws: worldSource{snap: k.Snapshot(), launch: l}}
+}
+
+// World returns a fresh mutable kernel and launch for one trial.
+func (w *RunWorld) World() (*kernel.Kernel, Launch) { return w.ws.world() }
+
+// BaseFS returns the frozen clean filesystem, or nil when the wrapper is
+// rebuilding per trial and no shared image exists.
+func (w *RunWorld) BaseFS() *vfs.FS { return w.ws.baseFS() }
+
+// WorldImage memoizes one world build as a frozen kernel snapshot and
+// hands out copy-on-write forks through the standard Factory shape. App
+// packages whose world content is identical across program variants share
+// one image per package and attach the variant with FactoryWith; when
+// snapshots are globally disabled the image transparently rebuilds from
+// scratch on every call.
+type WorldImage struct {
+	build Factory
+
+	mu     sync.Mutex
+	snap   *kernel.Snapshot
+	launch Launch
+}
+
+// NewWorldImage wraps a world-building factory in a memoizing image. The
+// factory runs at most once while snapshots are enabled.
+func NewWorldImage(build Factory) *WorldImage { return &WorldImage{build: build} }
+
+// Factory returns an inject.Factory backed by the image.
+func (w *WorldImage) Factory() Factory { return w.FactoryWith(nil) }
+
+// FactoryWith returns a Factory whose Launch is adjusted by mod after the
+// (shared) world is produced — how an app package installs the program
+// variant and arguments onto a world image common to every variant. mod
+// must not touch the kernel; it may only rewrite the launch description.
+func (w *WorldImage) FactoryWith(mod func(Launch) Launch) Factory {
+	return func() (*kernel.Kernel, Launch) {
+		if !WorldSnapshots() {
+			k, l := w.build()
+			if mod != nil {
+				l = mod(l)
+			}
+			return k, l
+		}
+		w.mu.Lock()
+		if w.snap == nil {
+			k, l := w.build()
+			w.snap = k.Snapshot()
+			w.launch = l
+		}
+		snap, l := w.snap, w.launch
+		w.mu.Unlock()
+		k := snap.Fork()
+		if mod != nil {
+			l = mod(l)
+		}
+		return k, l
+	}
+}

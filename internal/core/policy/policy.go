@@ -127,16 +127,15 @@ func (p Policy) trusted(path string) bool {
 	return false
 }
 
-// snapNode returns the inode at path in the snapshot, or nil.
+// snapNode returns the inode at path in the snapshot, or nil. Peek keeps
+// this allocation-free: the oracle calls it for every mutating or exec
+// event of every run's trace, and the paths it sees are the canonical
+// absolute ResolvedPaths the kernel recorded.
 func snapNode(snap *vfs.FS, path string) *vfs.Inode {
 	if snap == nil || path == "" {
 		return nil
 	}
-	n, err := snap.LookupNoFollow("/", path)
-	if err != nil {
-		return nil
-	}
-	return n
+	return snap.Peek(path, false)
 }
 
 // snapParent returns the snapshot inode of path's parent directory.
@@ -209,7 +208,7 @@ func (p Policy) Tolerated(obs Observation) bool { return len(p.Evaluate(obs)) ==
 // outside the trusted write paths, exceeds delegated authority.
 func (p Policy) integrity(obs Observation) []Violation {
 	var out []Violation
-	seen := make(map[string]bool)
+	var seen map[string]bool // lazy: most runs report nothing
 	for i := range obs.Trace {
 		ev := &obs.Trace[i]
 		if !isFSMutation(ev.Call.Op) || ev.Result.Err != nil {
@@ -223,6 +222,9 @@ func (p Policy) integrity(obs Observation) []Violation {
 			invokerOK := vfs.WritableBy(n, p.Invoker.UID, p.Invoker.GID)
 			attackerOK := vfs.WritableBy(n, p.Attacker.UID, p.Attacker.GID)
 			if !invokerOK || !attackerOK {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
 				seen[obj] = true
 				out = append(out, Violation{
 					Kind:   KindIntegrity,
@@ -242,6 +244,9 @@ func (p Policy) integrity(obs Observation) []Violation {
 			invokerOK := vfs.Allows(d, p.Invoker.UID, p.Invoker.GID, vfs.WantWrite)
 			attackerOK := vfs.Allows(d, p.Attacker.UID, p.Attacker.GID, vfs.WantWrite)
 			if !invokerOK && !attackerOK {
+				if seen == nil {
+					seen = make(map[string]bool)
+				}
 				seen[obj] = true
 				out = append(out, Violation{
 					Kind:   KindIntegrity,
@@ -260,7 +265,7 @@ func (p Policy) integrity(obs Observation) []Violation {
 func (p Policy) confidentiality(obs Observation) []Violation {
 	var out []Violation
 	min := p.minLeak()
-	seen := make(map[string]bool)
+	var seen map[string]bool // lazy: most runs report nothing
 	for i := range obs.Trace {
 		ev := &obs.Trace[i]
 		if ev.Call.Op != interpose.OpRead || ev.Result.Err != nil {
@@ -274,9 +279,7 @@ func (p Policy) confidentiality(obs Observation) []Violation {
 		if n == nil {
 			// Follow a final symlink in the snapshot, in case the object
 			// identity is itself the link.
-			if ln, err := obs.Snap.Lookup("/", obj); err == nil {
-				n = ln
-			}
+			n = obs.Snap.Peek(obj, true)
 		}
 		if n == nil || vfs.ReadableBy(n, p.Invoker.UID, p.Invoker.GID) {
 			continue
@@ -286,6 +289,9 @@ func (p Policy) confidentiality(obs Observation) []Violation {
 			continue
 		}
 		if leakedChunk(obs.Stdout, data, min) {
+			if seen == nil {
+				seen = make(map[string]bool)
+			}
 			seen[obj] = true
 			out = append(out, Violation{
 				Kind:   KindConfidentiality,

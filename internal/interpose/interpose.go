@@ -14,6 +14,7 @@ package interpose
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -153,9 +154,11 @@ type Call struct {
 // PointID returns the interaction-point identity "site#occur".
 func (c *Call) PointID() string { return PointID(c.Site, c.Occur) }
 
-// PointID builds the canonical interaction-point identity string.
+// PointID builds the canonical interaction-point identity string. It is
+// called once per traced event in the compare hot path, so it avoids the
+// fmt machinery.
 func PointID(site string, occur int) string {
-	return fmt.Sprintf("%s#%d", site, occur)
+	return site + "#" + strconv.Itoa(occur)
 }
 
 // SplitPointID parses a PointID back into site and occurrence. It returns

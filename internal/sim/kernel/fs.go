@@ -89,13 +89,15 @@ func (p *Proc) openLocked(path string, flags int, mode vfs.Mode) (*File, string,
 		if want != 0 && !vfs.Allows(res.Node, cred.EUID, cred.EGID, want) {
 			return nil, res.Path, fmt.Errorf("%w: open %s", ErrPerm, res.Path)
 		}
-		if flags&OTrunc != 0 && res.Node.Type == vfs.TypeRegular {
-			res.Node.Data = nil
-			res.Node.Gen++
+		node := res.Node
+		if flags&OTrunc != 0 && node.Type == vfs.TypeRegular {
+			node = p.K.FS.Own(node)
+			node.Data = nil
+			node.Gen++
 		}
-		f := &File{node: res.Node, Path: res.Path, flags: flags}
+		f := &File{node: node, Path: res.Path, flags: flags}
 		if flags&OAppend != 0 {
-			f.offset = len(res.Node.Data)
+			f.offset = len(node.Data)
 		}
 		return f, res.Path, nil
 	case flags&OCreate != 0:
@@ -131,20 +133,26 @@ func (p *Proc) Read(site string, f *File, n int) ([]byte, error) {
 		data []byte
 		err  error
 	)
+	// The handle pins inode identity; View maps it to the fork's current
+	// version so reads observe copy-on-write privatizations.
+	var node *vfs.Inode
+	if f != nil {
+		node = p.K.FS.View(f.node)
+	}
 	switch {
 	case f == nil || f.closed:
 		err = ErrBadFD
 	case f.flags&ORead == 0:
 		err = fmt.Errorf("%w: not opened for reading", ErrBadFD)
-	case f.node.Type != vfs.TypeRegular:
+	case node.Type != vfs.TypeRegular:
 		err = fmt.Errorf("%w: %s", vfs.ErrIsDir, f.Path)
 	default:
 		end := f.offset + n
-		if end > len(f.node.Data) {
-			end = len(f.node.Data)
+		if end > len(node.Data) {
+			end = len(node.Data)
 		}
 		if f.offset < end {
-			data = append([]byte(nil), f.node.Data[f.offset:end]...)
+			data = append([]byte(nil), node.Data[f.offset:end]...)
 			f.offset = end
 		}
 	}
@@ -158,7 +166,7 @@ func (p *Proc) ReadAll(site string, f *File) ([]byte, error) {
 	if f == nil || f.node == nil {
 		return nil, ErrBadFD
 	}
-	return p.Read(site, f, len(f.node.Data)-f.offset)
+	return p.Read(site, f, len(p.K.FS.View(f.node).Data)-f.offset)
 }
 
 // ReadFile opens, fully reads, and closes the file at path in one
@@ -192,8 +200,11 @@ func (p *Proc) Write(site string, f *File, data []byte) (int, error) {
 	case f.flags&(OWrite|OAppend) == 0:
 		err = fmt.Errorf("%w: not opened for writing", ErrBadFD)
 	default:
-		// Extend or overwrite from offset.
-		buf := f.node.Data
+		// Extend or overwrite from offset. Own privatizes a shared inode
+		// (deep-copying Data) before the in-place copy below, so a write
+		// through a pre-fork handle never touches the frozen base image.
+		node := p.K.FS.Own(f.node)
+		buf := node.Data
 		need := f.offset + len(c.Data)
 		if need > len(buf) {
 			nb := make([]byte, need)
@@ -201,8 +212,8 @@ func (p *Proc) Write(site string, f *File, data []byte) (int, error) {
 			buf = nb
 		}
 		copy(buf[f.offset:], c.Data)
-		f.node.Data = buf
-		f.node.Gen++
+		node.Data = buf
+		node.Gen++
 		f.offset += len(c.Data)
 		n = len(c.Data)
 	}
@@ -403,6 +414,7 @@ func (p *Proc) Chmod(site, path string, mode vfs.Mode) error {
 		if p.Cred.EUID != 0 && p.Cred.EUID != n.UID {
 			return fmt.Errorf("%w: chmod %s", ErrPerm, resolved)
 		}
+		n = p.K.FS.Own(n)
 		n.Mode = vfs.Mode(c.Mode) & vfs.ModePermMask
 		n.Gen++
 		return nil
@@ -429,6 +441,7 @@ func (p *Proc) Chown(site, path string, uid, gid int) error {
 		if p.Cred.EUID != 0 {
 			return fmt.Errorf("%w: chown %s", ErrPerm, resolved)
 		}
+		n = p.K.FS.Own(n)
 		n.UID, n.GID = c.Flags, int(c.Mode)
 		n.Gen++
 		return nil

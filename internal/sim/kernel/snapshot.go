@@ -1,0 +1,77 @@
+package kernel
+
+import (
+	"maps"
+
+	"repro/internal/interpose"
+	"repro/internal/sim/vfs"
+)
+
+// Snapshot is an immutable clean-world image: the filesystem frozen in
+// place plus deep copies or references to every other piece of kernel
+// state a run can touch. Fork stamps out a mutable kernel in O(small) —
+// the VFS is structurally shared copy-on-write, so only the substrates
+// with per-run mutable state (network scripts, registry hives, account
+// database, mailbox queues) are cloned eagerly.
+type Snapshot struct {
+	fs        *vfs.FS
+	programs  map[string]Program
+	mailboxes map[string][][]byte
+	nextPID   int
+	src       *Kernel
+}
+
+// Snapshot freezes the kernel's filesystem and captures the rest of its
+// state as the clean-world image. The receiver must not be mutated
+// afterwards — VFS writes panic once frozen, and the mailbox queues are
+// deep-copied here so later Fork calls see the capture-time state.
+func (k *Kernel) Snapshot() *Snapshot {
+	k.FS.Freeze()
+	return &Snapshot{
+		fs:        k.FS,
+		programs:  k.programs,
+		mailboxes: cloneMailboxes(k.mailboxes),
+		nextPID:   k.nextPID,
+		src:       k,
+	}
+}
+
+// FS returns the frozen base filesystem. The security oracle can use it
+// directly as the pre-run state snapshot: it is immutable by construction,
+// so no defensive clone is needed.
+func (s *Snapshot) FS() *vfs.FS { return s.fs }
+
+// Fork returns a fresh mutable kernel backed by the snapshot. The VFS is a
+// copy-on-write fork of the frozen tree; network, registry, accounts, and
+// mailboxes are cloned so no mutable state is shared between forks. PID
+// and inode counters continue from the snapshot's values, which keeps a
+// forked run's trace bit-identical to one against a freshly built world.
+func (s *Snapshot) Fork() *Kernel {
+	k := &Kernel{
+		FS:        s.fs.Fork(),
+		Users:     s.src.Users.Clone(),
+		Bus:       interpose.NewBus(),
+		programs:  maps.Clone(s.programs),
+		mailboxes: cloneMailboxes(s.mailboxes),
+		nextPID:   s.nextPID,
+	}
+	if s.src.Net != nil {
+		k.Net = s.src.Net.Clone()
+	}
+	if s.src.Reg != nil {
+		k.Reg = s.src.Reg.Clone()
+	}
+	return k
+}
+
+func cloneMailboxes(m map[string][][]byte) map[string][][]byte {
+	out := make(map[string][][]byte, len(m))
+	for name, msgs := range m {
+		cp := make([][]byte, len(msgs))
+		for i, msg := range msgs {
+			cp[i] = append([]byte(nil), msg...)
+		}
+		out[name] = cp
+	}
+	return out
+}

@@ -98,6 +98,23 @@ func (u *Users) All() []User {
 	return out
 }
 
+// Clone returns an independent copy of the account database. World
+// snapshot forks use it so a fork's account edits never leak into the
+// frozen base image.
+func (u *Users) Clone() *Users {
+	c := &Users{
+		byName: make(map[string]User, len(u.byName)),
+		byUID:  make(map[int]User, len(u.byUID)),
+	}
+	for k, v := range u.byName {
+		c.byName[k] = v
+	}
+	for k, v := range u.byUID {
+		c.byUID[k] = v
+	}
+	return c
+}
+
 // Env is a process environment table. Unlike a plain map it preserves no
 // order guarantee but supports cloning, which exec and fault snapshots
 // need.

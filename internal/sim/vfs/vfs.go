@@ -9,8 +9,12 @@
 package vfs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"maps"
 	"path"
 	"sort"
 	"strings"
@@ -136,6 +140,11 @@ type Inode struct {
 	kids   map[string]*Inode // TypeDir children
 	Nlink  int
 
+	// owner is the FS that created or privatized this inode. A forked
+	// filesystem may mutate an inode only when owner == fs; otherwise the
+	// copy-on-write layer clones it first (see FS.own).
+	owner *FS
+
 	// Gen increments on every content mutation; the TOCTTOU baseline and
 	// the content-invariance perturbation use it to detect change between
 	// check and use.
@@ -172,9 +181,26 @@ func (n *Inode) Child(name string) *Inode {
 
 // FS is an in-memory filesystem tree. The zero value is not usable; create
 // instances with New.
+//
+// An FS supports copy-on-write forking: Freeze marks the tree immutable,
+// and Fork produces a mutable child that structurally shares every inode
+// with its parent until first mutation. Shared inodes are never relinked in
+// place — the cow map redirects reads from a shared inode to the fork's
+// private copy, which preserves hard-link identity and lets long-lived
+// *Inode handles (open files, oracle snapshots) observe the fork's current
+// state through View.
 type FS struct {
 	root   *Inode
 	nextID int64
+
+	// frozen marks the tree immutable. Mutating a frozen FS panics: a
+	// frozen tree is the base image other filesystems fork from, so a
+	// leaked mutation would silently corrupt every subsequent fork.
+	frozen bool
+	// cow maps a shared (parent-owned) inode to this filesystem's private
+	// copy. Lookups chase chains, so a fork-of-a-fork resolves
+	// grandparent inodes through the intermediate generation's copies.
+	cow map[*Inode]*Inode
 }
 
 // New returns an empty filesystem whose root directory is owned by root
@@ -185,8 +211,9 @@ func New() *FS {
 	return fs
 }
 
-// Root returns the root directory inode.
-func (fs *FS) Root() *Inode { return fs.root }
+// Root returns the root directory inode (the fork's private copy when the
+// root has been privatized).
+func (fs *FS) Root() *Inode { return fs.view(fs.root) }
 
 func (fs *FS) newInode(t NodeType, mode Mode, uid, gid int) *Inode {
 	fs.nextID++
@@ -197,12 +224,96 @@ func (fs *FS) newInode(t NodeType, mode Mode, uid, gid int) *Inode {
 		UID:   uid,
 		GID:   gid,
 		Nlink: 1,
+		owner: fs,
 	}
 	if t == TypeDir {
 		n.kids = make(map[string]*Inode)
 	}
 	return n
 }
+
+// Freeze marks the filesystem immutable so it can serve as the base image
+// for Fork. Any subsequent mutation attempt panics — the tripwire that
+// keeps a leaked shared mutation from corrupting every fork's run.
+func (fs *FS) Freeze() { fs.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (fs *FS) Frozen() bool { return fs.frozen }
+
+// Fork returns a mutable filesystem that structurally shares every inode
+// with the (frozen) receiver. Construction is O(size of the receiver's cow
+// map) — O(1) for a freshly built world — and the first mutation of any
+// inode clones just that inode. Inode IDs allocated by the fork continue
+// from the parent's counter, so forked runs produce bit-identical traces
+// to fresh builds.
+func (fs *FS) Fork() *FS {
+	if !fs.frozen {
+		panic("vfs: Fork of unfrozen filesystem")
+	}
+	return &FS{root: fs.root, nextID: fs.nextID, cow: maps.Clone(fs.cow)}
+}
+
+// view chases n through the copy-on-write map to this filesystem's current
+// version of the inode. It is the read barrier every traversal uses; stale
+// *Inode handles taken before a privatization resolve to the private copy.
+func (fs *FS) view(n *Inode) *Inode {
+	if n == nil || fs.cow == nil {
+		return n
+	}
+	for {
+		c, ok := fs.cow[n]
+		if !ok {
+			return n
+		}
+		n = c
+	}
+}
+
+// View is the exported read barrier for long-lived inode handles (open
+// files, oracle snapshots) held outside the vfs package.
+func (fs *FS) View(n *Inode) *Inode { return fs.view(n) }
+
+// own returns a version of n this filesystem may mutate, cloning a shared
+// inode on first write. The clone deep-copies Data — kernel Write mutates
+// content in place through the backing array — and shallow-copies the kids
+// map; shared children are cloned lazily when they are themselves mutated.
+func (fs *FS) own(n *Inode) *Inode {
+	if fs.frozen {
+		panic("vfs: mutation of frozen filesystem")
+	}
+	n = fs.view(n)
+	if n.owner == fs {
+		return n
+	}
+	c := &Inode{
+		ID:     n.ID,
+		Type:   n.Type,
+		Mode:   n.Mode,
+		UID:    n.UID,
+		GID:    n.GID,
+		Target: n.Target,
+		Nlink:  n.Nlink,
+		Gen:    n.Gen,
+		owner:  fs,
+	}
+	if n.Data != nil {
+		c.Data = append([]byte(nil), n.Data...)
+	}
+	if n.kids != nil {
+		c.kids = maps.Clone(n.kids)
+	}
+	if fs.cow == nil {
+		fs.cow = make(map[*Inode]*Inode)
+	}
+	fs.cow[n] = c
+	return c
+}
+
+// Own is the exported write barrier: it returns the filesystem's mutable
+// version of n, privatizing a shared inode first. Callers that mutate an
+// inode obtained from a Resolve/Lookup (e.g. direct-fault perturbations)
+// must route through Own.
+func (fs *FS) Own(n *Inode) *Inode { return fs.own(n) }
 
 // Canon returns path p made absolute against cwd and lexically cleaned.
 // It performs no symlink resolution.
@@ -284,7 +395,7 @@ func (fs *FS) resolve(abs string, followLast bool, depth int) (Resolved, error) 
 	comps := splitRaw(abs)
 	// stack holds the directory chain from the root; names the component
 	// names entering each stack level past the root.
-	stack := []*Inode{fs.root}
+	stack := []*Inode{fs.view(fs.root)}
 	var names []string
 	pathOf := func() string {
 		if len(names) == 0 {
@@ -309,7 +420,7 @@ func (fs *FS) resolve(abs string, followLast bool, depth int) (Resolved, error) 
 		if cur.Type != TypeDir {
 			return Resolved{}, fmt.Errorf("%w: %s", ErrNotDir, pathOf())
 		}
-		next := cur.kids[comp]
+		next := fs.view(cur.kids[comp])
 		if next == nil {
 			if last {
 				return Resolved{
@@ -402,16 +513,18 @@ func (fs *FS) Create(cwd, p string, mode Mode, uid, gid int, excl bool) (*Inode,
 		if r.Node.Type == TypeDir {
 			return nil, fmt.Errorf("%w: %s", ErrIsDir, r.Path)
 		}
-		r.Node.Data = nil
-		r.Node.Gen++
-		return r.Node, nil
+		node := fs.own(r.Node)
+		node.Data = nil
+		node.Gen++
+		return node, nil
 	}
 	if r.Parent == nil {
 		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
 	}
+	parent := fs.own(r.Parent)
 	n := fs.newInode(TypeRegular, mode, uid, gid)
-	r.Parent.kids[r.Name] = n
-	r.Parent.Gen++
+	parent.kids[r.Name] = n
+	parent.Gen++
 	return n, nil
 }
 
@@ -427,9 +540,10 @@ func (fs *FS) Mkdir(cwd, p string, mode Mode, uid, gid int) (*Inode, error) {
 	if r.Parent == nil {
 		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
 	}
+	parent := fs.own(r.Parent)
 	n := fs.newInode(TypeDir, mode, uid, gid)
-	r.Parent.kids[r.Name] = n
-	r.Parent.Gen++
+	parent.kids[r.Name] = n
+	parent.Gen++
 	return n, nil
 }
 
@@ -471,10 +585,11 @@ func (fs *FS) Symlink(cwd, target, p string, uid, gid int) (*Inode, error) {
 	if r.Parent == nil {
 		return nil, fmt.Errorf("%w: cannot create root", ErrInvalid)
 	}
+	parent := fs.own(r.Parent)
 	n := fs.newInode(TypeSymlink, 0o777, uid, gid)
 	n.Target = target
-	r.Parent.kids[r.Name] = n
-	r.Parent.Gen++
+	parent.kids[r.Name] = n
+	parent.Gen++
 	return n, nil
 }
 
@@ -492,9 +607,10 @@ func (fs *FS) Unlink(cwd, p string) error {
 	if r.Node.Type == TypeDir {
 		return fmt.Errorf("%w: %s", ErrIsDir, r.Path)
 	}
-	delete(r.Parent.kids, r.Name)
-	r.Parent.Gen++
-	r.Node.Nlink--
+	parent := fs.own(r.Parent)
+	delete(parent.kids, r.Name)
+	parent.Gen++
+	fs.own(r.Node).Nlink--
 	return nil
 }
 
@@ -516,8 +632,9 @@ func (fs *FS) Rmdir(cwd, p string) error {
 	if r.Parent == nil {
 		return fmt.Errorf("%w: cannot remove root", ErrBusy)
 	}
-	delete(r.Parent.kids, r.Name)
-	r.Parent.Gen++
+	parent := fs.own(r.Parent)
+	delete(parent.kids, r.Name)
+	parent.Gen++
 	return nil
 }
 
@@ -551,10 +668,14 @@ func (fs *FS) Rename(cwd, oldp, newp string) error {
 			}
 		}
 	}
-	delete(ro.Parent.kids, ro.Name)
-	ro.Parent.Gen++
-	rn.Parent.kids[rn.Name] = ro.Node
-	rn.Parent.Gen++
+	oldParent := fs.own(ro.Parent)
+	delete(oldParent.kids, ro.Name)
+	oldParent.Gen++
+	// The two parents may be the same directory; own() is idempotent, and
+	// re-resolving through it keeps the second mutation on the same copy.
+	newParent := fs.own(rn.Parent)
+	newParent.kids[rn.Name] = ro.Node
+	newParent.Gen++
 	return nil
 }
 
@@ -581,9 +702,10 @@ func (fs *FS) Link(cwd, oldp, newp string) error {
 	if rn.Parent == nil {
 		return fmt.Errorf("%w: cannot link at root", ErrInvalid)
 	}
-	rn.Parent.kids[rn.Name] = ro.Node
-	rn.Parent.Gen++
-	ro.Node.Nlink++
+	parent := fs.own(rn.Parent)
+	parent.kids[rn.Name] = ro.Node
+	parent.Gen++
+	fs.own(ro.Node).Nlink++
 	return nil
 }
 
@@ -602,8 +724,9 @@ func (fs *FS) RemoveAll(p string) error {
 	if r.Parent == nil {
 		return fmt.Errorf("%w: cannot remove root", ErrBusy)
 	}
-	delete(r.Parent.kids, r.Name)
-	r.Parent.Gen++
+	parent := fs.own(r.Parent)
+	delete(parent.kids, r.Name)
+	parent.Gen++
 	return nil
 }
 
@@ -616,17 +739,19 @@ func (fs *FS) WriteFile(p string, data []byte, mode Mode, uid, gid int) error {
 		return err
 	}
 	if r.Node == nil {
+		parent := fs.own(r.Parent)
 		n := fs.newInode(TypeRegular, mode, uid, gid)
 		n.Data = append([]byte(nil), data...)
-		r.Parent.kids[r.Name] = n
-		r.Parent.Gen++
+		parent.kids[r.Name] = n
+		parent.Gen++
 		return nil
 	}
 	if r.Node.Type != TypeRegular {
 		return fmt.Errorf("%w: %s", ErrInvalid, r.Path)
 	}
-	r.Node.Data = append([]byte(nil), data...)
-	r.Node.Gen++
+	node := fs.own(r.Node)
+	node.Data = append([]byte(nil), data...)
+	node.Gen++
 	return nil
 }
 
@@ -660,19 +785,22 @@ func (fs *FS) Walk(fn func(p string, n *Inode)) {
 			return
 		}
 		for _, name := range n.Children() {
-			rec(joinResolved(p, name), n.kids[name])
+			rec(joinResolved(p, name), fs.view(n.kids[name]))
 		}
 	}
-	rec("/", fs.root)
+	rec("/", fs.view(fs.root))
 }
 
 // Clone returns a deep copy of the filesystem. Hard-link sharing within the
 // tree is preserved: inodes reachable through multiple directory entries
-// are cloned once.
+// are cloned once. Cloning a fork flattens the copy-on-write layer — the
+// result is standalone and owns every inode.
 func (fs *FS) Clone() *FS {
+	out := &FS{nextID: fs.nextID}
 	seen := make(map[*Inode]*Inode)
 	var rec func(n *Inode) *Inode
 	rec = func(n *Inode) *Inode {
+		n = fs.view(n)
 		if c, ok := seen[n]; ok {
 			return c
 		}
@@ -685,6 +813,7 @@ func (fs *FS) Clone() *FS {
 			Target: n.Target,
 			Nlink:  n.Nlink,
 			Gen:    n.Gen,
+			owner:  out,
 		}
 		seen[n] = c
 		if n.Data != nil {
@@ -698,5 +827,118 @@ func (fs *FS) Clone() *FS {
 		}
 		return c
 	}
-	return &FS{root: rec(fs.root), nextID: fs.nextID}
+	out.root = rec(fs.root)
+	return out
+}
+
+// Digest returns a hex SHA-256 over the full reachable tree — every path,
+// type, mode, ownership, generation, link count, target, and content byte.
+// Two filesystems with equal digests are observationally identical; the
+// fork-isolation property tests compare digests before and after sibling
+// mutations.
+func (fs *FS) Digest() string {
+	h := sha256.New()
+	var num [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(num[:], uint64(v))
+		h.Write(num[:])
+	}
+	fs.Walk(func(p string, n *Inode) {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		writeInt(int64(n.Type))
+		writeInt(int64(n.Mode))
+		writeInt(int64(n.UID))
+		writeInt(int64(n.GID))
+		writeInt(int64(n.Nlink))
+		writeInt(n.Gen)
+		writeInt(n.ID)
+		h.Write([]byte(n.Target))
+		h.Write([]byte{0})
+		writeInt(int64(len(n.Data)))
+		h.Write(n.Data)
+	})
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum)
+}
+
+// Peek resolves absolute path p — following a final symlink only when
+// follow is true — and returns its inode, or nil when the path does not
+// resolve. Unlike Resolve it builds no error values or resolved-path
+// strings, making misses allocation-free; it is the security oracle's hot
+// snapshot lookup. Any symlink encountered mid-walk falls back to the full
+// Resolve machinery.
+func (fs *FS) Peek(p string, follow bool) *Inode {
+	cur := fs.view(fs.root)
+	var dirs [32]*Inode // ".." stack; deeper paths take the slow path
+	nd := 0
+	i := 0
+	for i < len(p) {
+		for i < len(p) && p[i] == '/' {
+			i++
+		}
+		start := i
+		for i < len(p) && p[i] != '/' {
+			i++
+		}
+		comp := p[start:i]
+		if comp == "" || comp == "." {
+			continue
+		}
+		if comp == ".." {
+			if nd > 0 {
+				nd--
+				cur = dirs[nd]
+			}
+			continue
+		}
+		if len(comp) > MaxNameLen || cur.Type != TypeDir {
+			return nil
+		}
+		next := fs.view(cur.kids[comp])
+		if next == nil {
+			return nil
+		}
+		last := !hasMoreComps(p, i)
+		if next.Type == TypeSymlink && (!last || follow) {
+			// Symlinks need path-string splicing; delegate to Resolve.
+			r, err := fs.resolve(Canon("/", p), follow, 0)
+			if err != nil {
+				return nil
+			}
+			return r.Node
+		}
+		if last {
+			return next
+		}
+		if nd == len(dirs) {
+			r, err := fs.resolve(Canon("/", p), follow, 0)
+			if err != nil {
+				return nil
+			}
+			return r.Node
+		}
+		dirs[nd] = cur
+		nd++
+		cur = next
+	}
+	return cur
+}
+
+// hasMoreComps reports whether p contains a real path component ("" and
+// "." do not count) at or after index i.
+func hasMoreComps(p string, i int) bool {
+	for i < len(p) {
+		for i < len(p) && p[i] == '/' {
+			i++
+		}
+		start := i
+		for i < len(p) && p[i] != '/' {
+			i++
+		}
+		if c := p[start:i]; c != "" && c != "." {
+			return true
+		}
+	}
+	return false
 }
