@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core/coord"
@@ -39,6 +40,19 @@ type benchStats struct {
 	// Coordinator-mode extras: claims this worker made and leases it
 	// lost to expiry while executing.
 	LostLeases int `json:"lost_leases,omitempty"`
+	// Host provenance — optional fields absent from records written by
+	// older binaries, so adding them is not a schema bump. Runs/sec is
+	// only comparable on like hardware; the bench gate warns (never
+	// fails) when two records disagree on any of these.
+	GOOS      string `json:"goos,omitempty"`
+	GOARCH    string `json:"goarch,omitempty"`
+	CPUs      int    `json:"cpus,omitempty"`
+	GoVersion string `json:"go,omitempty"`
+	// AllocsPerRun is the process-wide heap-allocation count over the
+	// suite (runtime Mallocs delta) divided by runs_executed. Unlike
+	// wall time it is nearly deterministic for a fixed workload, which
+	// makes it the gate's low-noise regression signal.
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
 	// Metrics folds the worker's full metrics registry into the record
 	// (series-signature keys, e.g. `eptest_cache_requests_total{result="hit",tier="source"}`),
 	// so the perf trajectory carries cache-tier and steal detail without
@@ -49,8 +63,9 @@ type benchStats struct {
 // benchSchemaVersion identifies the bench-json record layout.
 const benchSchemaVersion = "eptest-bench/1"
 
-// writeBenchJSON renders the run's benchStats to cfg.benchJSON.
-func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wall time.Duration, source *coord.Source, reg *obs.Registry) error {
+// writeBenchJSON renders the run's benchStats to cfg.benchJSON. allocs
+// is the suite's heap-allocation count (Mallocs delta around the run).
+func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wall time.Duration, allocs uint64, source *coord.Source, reg *obs.Registry) error {
 	bs := benchStats{
 		Schema:      benchSchemaVersion,
 		Catalog:     "base",
@@ -64,6 +79,10 @@ func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wal
 		WallMillis:  float64(wall.Microseconds()) / 1000,
 		Plans:       sr.Dispatch.Plans,
 		Steals:      sr.Dispatch.Steals,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
 	}
 	if cfg.matrix {
 		bs.Catalog = "matrix"
@@ -81,6 +100,9 @@ func writeBenchJSON(cfg suiteConfig, sr *sched.SuiteResult, catalogJobs int, wal
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		bs.RunsPerSec = float64(bs.RunsExec) / secs
+	}
+	if bs.RunsExec > 0 && allocs > 0 {
+		bs.AllocsPerRun = float64(allocs) / float64(bs.RunsExec)
 	}
 	if source != nil {
 		bs.LostLeases = source.LostLeases()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // defaultGateTolerance is the fractional throughput drop -bench-gate
@@ -56,7 +57,36 @@ func compareBench(baseline, current benchStats, tolerance float64) error {
 			current.RunsPerSec, 100*current.RunsPerSec/baseline.RunsPerSec,
 			baseline.RunsPerSec, floor, 100*tolerance)
 	}
+	if baseline.AllocsPerRun > 0 && current.AllocsPerRun > 0 {
+		ceil := baseline.AllocsPerRun * (1 + tolerance)
+		if current.AllocsPerRun > ceil {
+			return fmt.Errorf("allocation regression: %.0f allocs/run vs the %.0f baseline, above the %.0f ceiling (tolerance %.0f%%)",
+				current.AllocsPerRun, baseline.AllocsPerRun, ceil, 100*tolerance)
+		}
+	}
 	return nil
+}
+
+// hostMismatch describes how two bench records' host provenance
+// differs, or "" when they match or either record predates the
+// provenance fields. A mismatch downgrades the gate's verdict to
+// advisory — runs/sec across different hardware is not a regression
+// signal — but never fails it.
+func hostMismatch(baseline, current benchStats) string {
+	if baseline.GOOS == "" || current.GOOS == "" {
+		return "" // at least one record predates host provenance
+	}
+	var diffs []string
+	if baseline.GOOS != current.GOOS || baseline.GOARCH != current.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("platform %s/%s vs %s/%s", baseline.GOOS, baseline.GOARCH, current.GOOS, current.GOARCH))
+	}
+	if baseline.CPUs != current.CPUs {
+		diffs = append(diffs, fmt.Sprintf("%d vs %d cpus", baseline.CPUs, current.CPUs))
+	}
+	if baseline.GoVersion != current.GoVersion {
+		diffs = append(diffs, fmt.Sprintf("%s vs %s", baseline.GoVersion, current.GoVersion))
+	}
+	return strings.Join(diffs, ", ")
 }
 
 // runBenchGate is the -bench-gate mode: read the committed baseline and
@@ -77,6 +107,13 @@ func runBenchGate(baselinePath, currentPath string, tolerance float64, stdout, s
 	fmt.Fprintf(stdout, "  baseline   %10.0f runs/sec  (%.1f ms wall, %d workers)\n", baseline.RunsPerSec, baseline.WallMillis, baseline.Workers)
 	fmt.Fprintf(stdout, "  fresh run  %10.0f runs/sec  (%.1f ms wall, %d workers)\n", current.RunsPerSec, current.WallMillis, current.Workers)
 	fmt.Fprintf(stdout, "  ratio      %10.2fx        (gate floor %.2fx)\n", current.RunsPerSec/baseline.RunsPerSec, 1-tolerance)
+	if baseline.AllocsPerRun > 0 && current.AllocsPerRun > 0 {
+		fmt.Fprintf(stdout, "  allocs/run %10.0f        (baseline %.0f, ceiling %.0f)\n",
+			current.AllocsPerRun, baseline.AllocsPerRun, baseline.AllocsPerRun*(1+tolerance))
+	}
+	if mm := hostMismatch(baseline, current); mm != "" {
+		fmt.Fprintf(stderr, "eptest: bench gate warning: records are from different hosts (%s); treat the comparison as advisory\n", mm)
+	}
 	if err := compareBench(baseline, current, tolerance); err != nil {
 		fmt.Fprintf(stderr, "eptest: bench gate FAILED: %v\n", err)
 		return 1

@@ -19,6 +19,13 @@ func benchRecord(mod func(*benchStats)) benchStats {
 		RunsExec:   273,
 		WallMillis: 46.2,
 		RunsPerSec: 5900,
+		// Optional fields: provenance and allocation rate, present in
+		// records written since PR 8.
+		GOOS:         "linux",
+		GOARCH:       "amd64",
+		CPUs:         4,
+		GoVersion:    "go1.24.0",
+		AllocsPerRun: 300,
 	}
 	if mod != nil {
 		mod(&bs)
@@ -44,6 +51,9 @@ func TestCompareBench(t *testing.T) {
 		{"filter mismatch fails", benchRecord(func(b *benchStats) { b.Filter = "lpr*" }), 0.4, "workloads differ"},
 		{"warm run fails", benchRecord(func(b *benchStats) { b.RunsExec = 0 }), 0.4, "zero runs"},
 		{"bad tolerance fails", benchRecord(nil), 1.5, "out of range"},
+		{"alloc bloat beyond tolerance fails", benchRecord(func(b *benchStats) { b.AllocsPerRun = 900 }), 0.4, "allocation regression"},
+		{"alloc growth inside tolerance passes", benchRecord(func(b *benchStats) { b.AllocsPerRun = 350 }), 0.4, ""},
+		{"record without allocs passes", benchRecord(func(b *benchStats) { b.AllocsPerRun = 0 }), 0.4, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,6 +68,28 @@ func TestCompareBench(t *testing.T) {
 				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestHostMismatch(t *testing.T) {
+	t.Parallel()
+	base := benchRecord(nil)
+	if mm := hostMismatch(base, benchRecord(nil)); mm != "" {
+		t.Errorf("identical hosts flagged: %q", mm)
+	}
+	legacy := benchRecord(func(b *benchStats) { b.GOOS, b.GOARCH, b.CPUs, b.GoVersion = "", "", 0, "" })
+	if mm := hostMismatch(base, legacy); mm != "" {
+		t.Errorf("legacy record without provenance flagged: %q", mm)
+	}
+	if mm := hostMismatch(legacy, base); mm != "" {
+		t.Errorf("legacy baseline flagged: %q", mm)
+	}
+	other := benchRecord(func(b *benchStats) { b.GOOS = "darwin"; b.CPUs = 10; b.GoVersion = "go1.25.0" })
+	mm := hostMismatch(base, other)
+	for _, want := range []string{"linux/amd64 vs darwin/amd64", "4 vs 10 cpus", "go1.24.0 vs go1.25.0"} {
+		if !strings.Contains(mm, want) {
+			t.Errorf("mismatch %q missing %q", mm, want)
+		}
 	}
 }
 
@@ -100,6 +132,22 @@ func TestBenchGateCLI(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "throughput regression") {
 		t.Fatalf("missing regression diagnosis: %s", errb.String())
+	}
+
+	// A record from different hardware still gates, but the verdict is
+	// downgraded to advisory via a stderr warning.
+	crossHost := writeBenchFile(t, dir, "crosshost.json", benchRecord(func(b *benchStats) {
+		b.RunsPerSec = 6100
+		b.GOOS = "darwin"
+		b.CPUs = 10
+	}))
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bench-gate", baseline, "-bench-json", crossHost}, &out, &errb); code != 0 {
+		t.Fatalf("cross-host gate exit = %d, stderr = %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "different hosts") {
+		t.Fatalf("missing cross-host warning: %s", errb.String())
 	}
 
 	// A looser explicit tolerance lets the same slow record through.

@@ -63,6 +63,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/apps"
@@ -139,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
 		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
 		snapshots  = fs.Bool("snapshots", true, "build each campaign world once and fork copy-on-write snapshots per injection run; -snapshots=false rebuilds every world from scratch (byte-identical results, for cross-checking)")
+		oracleSeed = fs.Bool("oracle-seed", true, "precompute each campaign's security-oracle state over the clean trace and evaluate each run from its armed point; -oracle-seed=false re-walks every run's full trace (byte-identical results, for cross-checking)")
 		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE; with -bench-gate: the fresh run's record to judge")
 		benchGate  = fs.String("bench-gate", "", "compare the fresh -bench-json FILE against this committed baseline record and fail on a throughput regression (see -gate-tolerance)")
 		gateTol    = fs.Float64("gate-tolerance", defaultGateTolerance, "with -bench-gate: allowed fractional throughput drop before the gate fails (0.4 = fail below 60% of baseline)")
@@ -150,8 +152,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	// Applied unconditionally (not only when the flag is passed): run() is
-	// re-entered by tests, and the toggle is process-wide.
+	// re-entered by tests, and the toggles are process-wide.
 	inject.SetWorldSnapshots(*snapshots)
+	inject.SetOracleSeeding(*oracleSeed)
 
 	if *workers < 1 {
 		fmt.Fprintf(stderr, "eptest: -j %d is not a worker count; pass how many injection runs may execute concurrently (-j 1 for sequential, -j 8 for eight workers)\n", *workers)
@@ -464,6 +467,13 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// The Mallocs delta around the suite feeds allocs_per_run in the
+	// bench record; ReadMemStats stops the world, so only pay for it
+	// when a record was requested.
+	var memBefore runtime.MemStats
+	if cfg.benchJSON != "" {
+		runtime.ReadMemStats(&memBefore)
+	}
 	start := time.Now()
 	var sr *sched.SuiteResult
 	if source != nil {
@@ -473,6 +483,12 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		sr = sched.RunSuite(jobs, opt)
 	}
 	wall := time.Since(start)
+	var suiteAllocs uint64
+	if cfg.benchJSON != "" {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		suiteAllocs = memAfter.Mallocs - memBefore.Mallocs
+	}
 	if progress != nil {
 		progress.Close()
 	}
@@ -527,7 +543,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote metrics snapshot to %s\n", cfg.metricsJSON)
 	}
 	if cfg.benchJSON != "" {
-		if err := writeBenchJSON(cfg, sr, len(catalog), wall, source, reg); err != nil {
+		if err := writeBenchJSON(cfg, sr, len(catalog), wall, suiteAllocs, source, reg); err != nil {
 			fmt.Fprintf(stderr, "eptest: %v\n", err)
 			return 1
 		}

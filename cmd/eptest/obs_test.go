@@ -224,10 +224,7 @@ func TestBenchJSONFoldsMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var bs struct {
-		Schema  string             `json:"schema"`
-		Metrics map[string]float64 `json:"metrics"`
-	}
+	var bs benchStats
 	if err := json.Unmarshal(b, &bs); err != nil {
 		t.Fatal(err)
 	}
@@ -236,5 +233,22 @@ func TestBenchJSONFoldsMetrics(t *testing.T) {
 	}
 	if bs.Metrics["eptest_runs_executed_total"] == 0 {
 		t.Errorf("bench metrics missing executed runs: %v", bs.Metrics)
+	}
+	// The per-phase latency split rides in the same flat map, one
+	// histogram series per phase, counting every executed run.
+	runs := bs.Metrics["eptest_runs_executed_total"]
+	for _, ph := range []string{"world", "exec", "compare"} {
+		key := `eptest_run_phase_seconds_count{phase="` + ph + `"}`
+		if bs.Metrics[key] != runs {
+			t.Errorf("%s = %v, want %v (one observation per run)", key, bs.Metrics[key], runs)
+		}
+	}
+	// Host provenance and the allocation rate are stamped by the
+	// writing binary.
+	if bs.GOOS == "" || bs.GOARCH == "" || bs.CPUs <= 0 || !strings.HasPrefix(bs.GoVersion, "go") {
+		t.Errorf("host provenance incomplete: goos=%q goarch=%q cpus=%d go=%q", bs.GOOS, bs.GOARCH, bs.CPUs, bs.GoVersion)
+	}
+	if bs.AllocsPerRun <= 0 {
+		t.Errorf("allocs_per_run = %v, want > 0", bs.AllocsPerRun)
 	}
 }

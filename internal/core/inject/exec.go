@@ -3,6 +3,7 @@ package inject
 import (
 	"time"
 
+	"repro/internal/core/policy"
 	"repro/internal/interpose"
 )
 
@@ -23,6 +24,12 @@ type ExecPlan struct {
 	// otherwise. One snapshot serves every run of the plan — including
 	// runs executed concurrently by the sched dispatcher's workers.
 	world *worldSource
+	// seed is the campaign's precomputed prefix oracle state, shared
+	// read-only by every run (nil when seeding or snapshots are off).
+	// runOne consults it only for runs whose pre-injection world is the
+	// frozen base image — the condition under which seeded evaluation is
+	// provably identical to the full walk.
+	seed *policy.Seed
 }
 
 // Prepare materialises the campaign's execution plan under default
@@ -41,7 +48,13 @@ func PrepareWith(c Campaign, opt Options) (*ExecPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExecPlan{campaign: c, opt: opt, shell: pr.result, plans: pr.plans, world: ws}, nil
+	ep := &ExecPlan{campaign: c, opt: opt, shell: pr.result, plans: pr.plans, world: ws}
+	if OracleSeeding() {
+		if base := ws.baseFS(); base != nil {
+			ep.seed = policy.NewSeed(c.Policy, pr.result.CleanTrace, base)
+		}
+	}
+	return ep, nil
 }
 
 // NumRuns is the number of injection runs the plan schedules.
@@ -70,9 +83,10 @@ func (p *ExecPlan) Planned(i int) PlannedInjection {
 
 // RunOne executes injection run i (steps 6-8) in a fresh world and
 // returns its outcome. It is safe for concurrent use: every call forks (or
-// builds) its own kernel and mutates only its own Injection.
+// builds) its own kernel and mutates only its own Injection; the shared
+// seed is immutable.
 func (p *ExecPlan) RunOne(i int) Injection {
-	return runOne(p.campaign, p.opt, p.plans[i], nil, p.world)
+	return p.runOne(i, nil)
 }
 
 // PhaseFunc observes the internal phases of one injection run as they
@@ -87,7 +101,7 @@ type PhaseFunc func(phase string, start time.Time, d time.Duration)
 // hook the suite tracer uses to render each run as a plan→exec→compare
 // span tree. fn may be nil, making it exactly RunOne.
 func (p *ExecPlan) RunOneObserved(i int, fn PhaseFunc) Injection {
-	return runOne(p.campaign, p.opt, p.plans[i], fn, p.world)
+	return p.runOne(i, fn)
 }
 
 // Shell returns a copy of the campaign result with the planning fields

@@ -8,6 +8,7 @@ package inject
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/core/coverage"
@@ -180,8 +181,12 @@ type planned struct {
 	site  string
 	occur int
 	kind  interpose.ObjectKind
-	dir   *eai.DirectFault
-	ind   *eai.IndirectFault
+	// armedIdx is the clean-trace index of the armed interaction point.
+	// A run replays the clean trace byte-for-byte up to (excluding) this
+	// event, which is what lets the seeded oracle skip the prefix.
+	armedIdx int
+	dir      *eai.DirectFault
+	ind      *eai.IndirectFault
 }
 
 // Run executes the campaign with the paper's methodology.
@@ -223,12 +228,29 @@ func objectIdentity(call *interpose.Call) string {
 	return vfs.Canon(callCwd(call, Launch{}), call.Path)
 }
 
+// traceBufs recycles run-trace backing buffers across injection runs. A
+// run's trace is only read during its own oracle pass and discarded with
+// its kernel, so the buffers — sized once from the clean trace — make
+// steady-state recording allocation-free.
+var traceBufs = sync.Pool{New: func() any { return new([]interpose.Event) }}
+
 // runOne performs a single fault-injection run (steps 6-8). phase, when
 // non-nil, observes the world/exec/compare segments; it deliberately
 // lives outside Options so telemetry never perturbs cache fingerprints.
-func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSource) Injection {
+func (ep *ExecPlan) runOne(i int, phase PhaseFunc) Injection {
+	c, opt, pl, ws := ep.campaign, ep.opt, ep.plans[i], ep.world
+
 	worldStart := time.Now()
 	k, l := ws.world()
+
+	// Seed trace recording with a pooled buffer sized from the clean
+	// trace: perturbed runs rarely record more events than the clean run.
+	bufp := traceBufs.Get().(*[]interpose.Event)
+	if need := len(ep.shell.CleanTrace) + 1; cap(*bufp) < need {
+		*bufp = make([]interpose.Event, 0, need)
+	}
+	k.Bus.ReserveTrace(*bufp)
+
 	p := k.NewProc(l.Cred, l.Env.Clone(), l.Cwd, l.Args...)
 
 	inj := Injection{
@@ -240,10 +262,12 @@ func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSourc
 	// Snap defaults to the pre-run world; a direct fault replaces it with
 	// the post-injection world so the oracle judges against what the
 	// attacker actually arranged. In snapshot mode the frozen base image
-	// *is* the pre-run world, so the defensive clone is free.
+	// *is* the pre-run world; otherwise the freshly built world is frozen
+	// in place and the run continues on a copy-on-write fork — either
+	// way, no deep clone.
 	snap := ws.baseFS()
 	if snap == nil {
-		snap = k.FS.Clone()
+		snap = k.FreezeFS()
 	}
 	armed := false
 
@@ -271,7 +295,10 @@ func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSourc
 			}
 			inj.Applied = true
 			k.Bus.MarkMutated()
-			snap = k.FS.Clone()
+			// Zero-clone post-injection snapshot: freeze the world the
+			// fault just arranged and let the rest of the run proceed on
+			// a fresh fork.
+			snap = k.FreezeFS()
 		}
 		if opt.DirectAfterPoint {
 			k.Bus.OnPost(func(call *interpose.Call, _ *interpose.Result) { apply(call) })
@@ -309,8 +336,9 @@ func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSourc
 		phase("exec", execStart, compareStart.Sub(execStart))
 	}
 	inj.Exit = exit
+	trace := k.Bus.Trace()
 	obs := policy.Observation{
-		Trace:  k.Bus.Trace(),
+		Trace:  trace,
 		Stdout: p.Stdout.Bytes(),
 		Snap:   snap,
 	}
@@ -318,9 +346,24 @@ func runOne(c Campaign, opt Options, pl planned, phase PhaseFunc, ws *worldSourc
 		inj.CrashMsg = crash.Msg
 		obs.CrashMsg = crash.Msg
 	}
-	inj.Violations = c.Policy.Evaluate(obs)
+	// The seeded oracle is sound exactly when the run's pre-injection
+	// world is the frozen base the seed was computed against — true for
+	// every indirect and unapplied-direct run. An applied direct fault
+	// replaced snap with the post-injection world above, which sends it
+	// down the full-walk branch.
+	if ep.seed != nil && snap == ws.baseFS() {
+		inj.Violations = ep.seed.EvaluateFrom(pl.armedIdx, obs)
+	} else {
+		inj.Violations = c.Policy.Evaluate(obs)
+	}
 	if phase != nil {
 		phase("compare", compareStart, time.Since(compareStart))
 	}
+	// Recycle the trace buffer. Violations carry only derived strings and
+	// the kernel dies with this call, so nothing can observe the reuse;
+	// clearing first drops the payload references the events pin.
+	clear(trace[:cap(trace)])
+	*bufp = trace[:0]
+	traceBufs.Put(bufp)
 	return inj
 }

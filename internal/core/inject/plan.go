@@ -242,8 +242,9 @@ type planResult struct {
 
 // planCampaign performs steps 2-5 (clean run, point enumeration, fault
 // lists) and returns both the planning state and the result shell. The
-// clean run and every per-site probe world come from ws — in snapshot mode
-// each is a cheap fork of the one frozen image instead of a fresh build.
+// clean run and the single shared probe world come from ws — in snapshot
+// mode each is a cheap fork of the one frozen image instead of a fresh
+// build.
 func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error) {
 	c.Faults = c.Faults.WithDefaults()
 
@@ -262,14 +263,27 @@ func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error)
 	include := newSiteFilter(c.Sites)
 
 	firstEvent := map[string]*interpose.Event{}
+	firstIdx := map[string]int{}
 	var siteOrder []string
 	for i := range trace {
 		s := trace[i].Call.Site
 		if _, ok := firstEvent[s]; !ok {
 			firstEvent[s] = &trace[i]
+			firstIdx[s] = i
 			siteOrder = append(siteOrder, s)
 		}
 	}
+
+	// Applies predicates are read-only (they probe object existence and
+	// attributes), so one probe world serves every site. Its filesystem
+	// is frozen as a tripwire: a (hypothetically) mutating predicate
+	// panics loudly instead of silently leaking state into later sites'
+	// probes. Built lazily — campaigns with no direct-eligible sites
+	// never pay for it.
+	var (
+		probe       *kernel.Kernel
+		probeLaunch Launch
+	)
 
 	pr := &planResult{result: res}
 	perturbed := map[string]bool{}
@@ -283,10 +297,13 @@ func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error)
 
 		if !opt.OnlyIndirect {
 			if ent := eai.EntityForKind(ev.Call.Kind); ent != 0 {
-				// Applies predicates are read-only, but each site still
-				// probes a private world so a (hypothetical) mutating
-				// predicate could never leak across sites.
-				probe, probeLaunch := ws.world()
+				if probe == nil {
+					probe, probeLaunch = ws.world()
+					probe.FS.Freeze()
+					if probe.Reg != nil {
+						probe.Reg.Freeze()
+					}
+				}
 				call := ev.Call
 				ctx := &eai.Ctx{
 					Kern:   probe,
@@ -306,7 +323,7 @@ func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error)
 						continue
 					}
 					injectedAttr[key] = true
-					sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, dir: &f})
+					sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, armedIdx: firstIdx[site], dir: &f})
 				}
 			}
 		}
@@ -318,7 +335,7 @@ func planCampaign(c Campaign, opt Options, ws *worldSource) (*planResult, error)
 			}
 			for _, f := range eai.CatalogIndirect(sem) {
 				f := f
-				sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, ind: &f})
+				sitePlans = append(sitePlans, planned{site: site, occur: ev.Call.Occur, kind: ev.Call.Kind, armedIdx: firstIdx[site], ind: &f})
 			}
 		}
 

@@ -16,7 +16,17 @@ import (
 // tests flip it.
 var worldSnapshots atomic.Bool
 
-func init() { worldSnapshots.Store(true) }
+// oracleSeeding is the process-wide prefix-seeded-oracle toggle, on by
+// default. It follows the worldSnapshots pattern — outside Options for
+// the same reason: seeding is a pure evaluation strategy that must never
+// change a result byte, so it must never move a cache fingerprint. The
+// -oracle-seed CLI flag and the byte-identity tests flip it.
+var oracleSeeding atomic.Bool
+
+func init() {
+	worldSnapshots.Store(true)
+	oracleSeeding.Store(true)
+}
 
 // SetWorldSnapshots enables or disables copy-on-write world snapshots for
 // every subsequently prepared campaign.
@@ -24,6 +34,16 @@ func SetWorldSnapshots(on bool) { worldSnapshots.Store(on) }
 
 // WorldSnapshots reports whether world snapshotting is enabled.
 func WorldSnapshots() bool { return worldSnapshots.Load() }
+
+// SetOracleSeeding enables or disables prefix-seeded oracle evaluation
+// for every subsequently prepared campaign. When disabled, every run's
+// security-oracle pass re-walks its full trace, byte-identically to the
+// pre-seeding engine.
+func SetOracleSeeding(on bool) { oracleSeeding.Store(on) }
+
+// OracleSeeding reports whether prefix-seeded oracle evaluation is
+// enabled.
+func OracleSeeding() bool { return oracleSeeding.Load() }
 
 // worldSource hands out per-run worlds for one campaign. In snapshot mode
 // it invokes the campaign factory once, freezes the result as the clean

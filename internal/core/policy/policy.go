@@ -208,8 +208,17 @@ func (p Policy) Tolerated(obs Observation) bool { return len(p.Evaluate(obs)) ==
 // outside the trusted write paths, exceeds delegated authority.
 func (p Policy) integrity(obs Observation) []Violation {
 	var out []Violation
-	var seen map[string]bool // lazy: most runs report nothing
-	for i := range obs.Trace {
+	p.integrityScan(obs, 0, nil, func(_ int, v Violation) { out = append(out, v) })
+	return out
+}
+
+// integrityScan applies the integrity rule to obs.Trace[start:], emitting
+// each violation with its trace index. seen carries objects already
+// reported by an earlier portion of the walk (nil when none): the rule
+// reports each object at most once, so a seeded evaluation pre-populates
+// it from the prefix.
+func (p Policy) integrityScan(obs Observation, start int, seen map[string]bool, emit func(int, Violation)) {
+	for i := start; i < len(obs.Trace); i++ {
 		ev := &obs.Trace[i]
 		if !isFSMutation(ev.Call.Op) || ev.Result.Err != nil {
 			continue
@@ -226,7 +235,7 @@ func (p Policy) integrity(obs Observation) []Violation {
 					seen = make(map[string]bool)
 				}
 				seen[obj] = true
-				out = append(out, Violation{
+				emit(i, Violation{
 					Kind:   KindIntegrity,
 					Point:  ev.Call.PointID(),
 					Object: obj,
@@ -248,7 +257,7 @@ func (p Policy) integrity(obs Observation) []Violation {
 					seen = make(map[string]bool)
 				}
 				seen[obj] = true
-				out = append(out, Violation{
+				emit(i, Violation{
 					Kind:   KindIntegrity,
 					Point:  ev.Call.PointID(),
 					Object: obj,
@@ -257,56 +266,84 @@ func (p Policy) integrity(obs Observation) []Violation {
 			}
 		}
 	}
-	return out
 }
 
 // confidentiality: content read from an object the invoker cannot read
 // must not reach invoker-visible output.
 func (p Policy) confidentiality(obs Observation) []Violation {
 	var out []Violation
+	p.confidentialityScan(obs, 0, nil, func(_ int, v Violation) { out = append(out, v) })
+	return out
+}
+
+// protectedRead is the stdout-independent half of the confidentiality
+// rule: it reports whether ev is a successful read of content the invoker
+// may not see, returning the payload when it is at least min bytes. The
+// seeded oracle precomputes these candidates over the clean trace and
+// re-judges only the stdout-dependent leak test per run.
+func (p Policy) protectedRead(ev *interpose.Event, snap *vfs.FS, min int) ([]byte, bool) {
+	if ev.Call.Op != interpose.OpRead || ev.Result.Err != nil {
+		return nil, false
+	}
+	obj := ev.ResolvedPath
+	if obj == "" || snap == nil {
+		return nil, false
+	}
+	n := snapNode(snap, obj)
+	if n == nil {
+		// Follow a final symlink in the snapshot, in case the object
+		// identity is itself the link.
+		n = snap.Peek(obj, true)
+	}
+	if n == nil || vfs.ReadableBy(n, p.Invoker.UID, p.Invoker.GID) {
+		return nil, false
+	}
+	if len(ev.Result.Data) < min {
+		return nil, false
+	}
+	return ev.Result.Data, true
+}
+
+// leakDetail renders the confidentiality violation explanation.
+func (p Policy) leakDetail() string {
+	return fmt.Sprintf("content of object unreadable by invoker(uid %d) appeared on stdout", p.Invoker.UID)
+}
+
+// confidentialityScan applies the confidentiality rule to
+// obs.Trace[start:]. seen carries objects already reported by the prefix,
+// as in integrityScan.
+func (p Policy) confidentialityScan(obs Observation, start int, seen map[string]bool, emit func(int, Violation)) {
 	min := p.minLeak()
-	var seen map[string]bool // lazy: most runs report nothing
-	for i := range obs.Trace {
+	for i := start; i < len(obs.Trace); i++ {
 		ev := &obs.Trace[i]
-		if ev.Call.Op != interpose.OpRead || ev.Result.Err != nil {
+		if seen[ev.ResolvedPath] {
 			continue
 		}
-		obj := ev.ResolvedPath
-		if obj == "" || seen[obj] {
-			continue
-		}
-		n := snapNode(obs.Snap, obj)
-		if n == nil {
-			// Follow a final symlink in the snapshot, in case the object
-			// identity is itself the link.
-			n = obs.Snap.Peek(obj, true)
-		}
-		if n == nil || vfs.ReadableBy(n, p.Invoker.UID, p.Invoker.GID) {
-			continue
-		}
-		data := ev.Result.Data
-		if len(data) < min {
+		data, ok := p.protectedRead(ev, obs.Snap, min)
+		if !ok {
 			continue
 		}
 		if leakedChunk(obs.Stdout, data, min) {
 			if seen == nil {
 				seen = make(map[string]bool)
 			}
-			seen[obj] = true
-			out = append(out, Violation{
+			seen[ev.ResolvedPath] = true
+			emit(i, Violation{
 				Kind:   KindConfidentiality,
 				Point:  ev.Call.PointID(),
-				Object: obj,
-				Detail: fmt.Sprintf("content of object unreadable by invoker(uid %d) appeared on stdout", p.Invoker.UID),
+				Object: ev.ResolvedPath,
+				Detail: p.leakDetail(),
 			})
 		}
 	}
-	return out
 }
 
 // leakedChunk reports whether any min-length window of data appears in out.
 // Checking windows rather than the whole payload catches partial leaks
-// (an application that prints protected content line by line).
+// (an application that prints protected content line by line). Windows
+// slide by min/2 and the final min bytes are always probed, so a leaked
+// chunk straddling a min-aligned tile boundary (or sitting at the tail of
+// a payload that is not a multiple of min) cannot be missed.
 func leakedChunk(out, data []byte, min int) bool {
 	if len(data) < min || len(out) < min {
 		return false
@@ -314,20 +351,29 @@ func leakedChunk(out, data []byte, min int) bool {
 	if bytes.Contains(out, data) {
 		return true
 	}
-	step := min
+	step := min / 2
+	if step < 1 {
+		step = 1
+	}
 	for i := 0; i+min <= len(data); i += step {
 		if bytes.Contains(out, data[i:i+min]) {
 			return true
 		}
 	}
-	return false
+	return bytes.Contains(out, data[len(data)-min:])
 }
 
 // untrustedExec: executing a binary the attacker controls, with authority
 // the attacker lacks, hands the attacker that authority.
 func (p Policy) untrustedExec(obs Observation) []Violation {
 	var out []Violation
-	for i := range obs.Trace {
+	p.untrustedExecScan(obs, 0, func(_ int, v Violation) { out = append(out, v) })
+	return out
+}
+
+// untrustedExecScan applies the untrusted-exec rule to obs.Trace[start:].
+func (p Policy) untrustedExecScan(obs Observation, start int, emit func(int, Violation)) {
+	for i := start; i < len(obs.Trace); i++ {
 		ev := &obs.Trace[i]
 		if ev.Call.Op != interpose.OpExec || ev.Result.Err != nil {
 			continue
@@ -340,7 +386,7 @@ func (p Policy) untrustedExec(obs Observation) []Violation {
 			continue
 		}
 		if n.UID == p.Attacker.UID || vfs.WritableBy(n, p.Attacker.UID, p.Attacker.GID) {
-			out = append(out, Violation{
+			emit(i, Violation{
 				Kind:   KindUntrustedExec,
 				Point:  ev.Call.PointID(),
 				Object: ev.ResolvedPath,
@@ -348,18 +394,41 @@ func (p Policy) untrustedExec(obs Observation) []Violation {
 			})
 		}
 	}
-	return out
+}
+
+// taintViolation renders the untrusted-input violation for the tainting
+// receive and the mutation event that followed it.
+func taintViolation(point, obj string, mut *interpose.Event) Violation {
+	return Violation{
+		Kind:   KindUntrustedInput,
+		Point:  point,
+		Object: obj,
+		Detail: fmt.Sprintf("acted on inauthentic network input (mutation %s at %s followed)", mut.Call.Op, mut.Call.PointID()),
+	}
+}
+
+// taintSource reports whether ev is an authenticity-failed receive — the
+// event that taints everything after it.
+func taintSource(ev *interpose.Event) bool {
+	return ev.Call.Op == interpose.OpRecv && ev.Result.Err == nil && !ev.Result.Flag
 }
 
 // untrustedInput: accepting provenance-less input and then mutating the
 // environment means the mutation is attacker-steered.
 func (p Policy) untrustedInput(obs Observation) []Violation {
+	return p.untrustedInputScan(obs, 0)
+}
+
+// untrustedInputScan applies the untrusted-input rule with the taint
+// search starting at obs.Trace[start] — a seeded evaluation whose prefix
+// is known taint-free starts the search at the armed event.
+func (p Policy) untrustedInputScan(obs Observation, start int) []Violation {
 	tainted := -1
 	taintedPoint := ""
 	taintedObj := ""
-	for i := range obs.Trace {
+	for i := start; i < len(obs.Trace); i++ {
 		ev := &obs.Trace[i]
-		if ev.Call.Op == interpose.OpRecv && ev.Result.Err == nil && !ev.Result.Flag {
+		if taintSource(ev) {
 			tainted = i
 			taintedPoint = ev.Call.PointID()
 			taintedObj = ev.Call.Path
@@ -369,15 +438,16 @@ func (p Policy) untrustedInput(obs Observation) []Violation {
 	if tainted < 0 {
 		return nil
 	}
-	for i := tainted + 1; i < len(obs.Trace); i++ {
+	return firstMutationAfter(obs, tainted+1, taintedPoint, taintedObj)
+}
+
+// firstMutationAfter returns the untrusted-input violation for the first
+// successful mutation at or after obs.Trace[from], or nil.
+func firstMutationAfter(obs Observation, from int, taintedPoint, taintedObj string) []Violation {
+	for i := from; i < len(obs.Trace); i++ {
 		ev := &obs.Trace[i]
 		if isMutating(ev.Call.Op) && ev.Result.Err == nil {
-			return []Violation{{
-				Kind:   KindUntrustedInput,
-				Point:  taintedPoint,
-				Object: taintedObj,
-				Detail: fmt.Sprintf("acted on inauthentic network input (mutation %s at %s followed)", ev.Call.Op, ev.Call.PointID()),
-			}}
+			return []Violation{taintViolation(taintedPoint, taintedObj, ev)}
 		}
 	}
 	return nil

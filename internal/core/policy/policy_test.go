@@ -11,7 +11,7 @@ import (
 
 // snapWorld builds a snapshot filesystem with the canonical protected and
 // open objects.
-func snapWorld(t *testing.T) *vfs.FS {
+func snapWorld(t testing.TB) *vfs.FS {
 	t.Helper()
 	fs := vfs.New()
 	must := func(err error) {

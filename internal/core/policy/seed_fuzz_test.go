@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/interpose"
+	"repro/internal/sim/proc"
+	"repro/internal/sim/vfs"
+)
+
+// The fuzz event decoder's alphabets: every path the snapWorld fixture
+// defines (plus a fresh path and the empty identity), and every op the
+// oracle's rules discriminate on.
+var (
+	fuzzPaths = []string{
+		"/etc/passwd", "/etc/shadow", "/u/ta/.login", "/tmp/scratch",
+		"/tmp/evil-bin", "/tmp/fresh", "/etc/fresh", "",
+	}
+	fuzzOps = []interpose.Op{
+		interpose.OpWrite, interpose.OpRead, interpose.OpCreate,
+		interpose.OpUnlink, interpose.OpChmod, interpose.OpExec,
+		interpose.OpRecv, interpose.OpSend, interpose.OpMkdir,
+		interpose.OpRename,
+	}
+	fuzzPayloads = [][]byte{
+		nil,
+		[]byte("root:$1$SECRETHASH$:10000:\n"),
+		[]byte("short"),
+		[]byte("0123456789abcdef0123456789abcdef"),
+	}
+)
+
+// decodeFuzzTrace turns raw fuzz bytes into an event sequence, three
+// bytes per event: op selector, path selector, and a result-bit byte
+// (error, authenticity flag, payload, euid). Occurrence counters run
+// per site, as the recording bus would number them.
+func decodeFuzzTrace(raw []byte, occur map[string]int) []interpose.Event {
+	var out []interpose.Event
+	for len(raw) >= 3 {
+		op := fuzzOps[int(raw[0])%len(fuzzOps)]
+		path := fuzzPaths[int(raw[1])%len(fuzzPaths)]
+		bits := raw[2]
+		raw = raw[3:]
+
+		site := fmt.Sprintf("fz%d:%s", int(raw0(bits))%3, op)
+		e := interpose.Event{
+			Call: interpose.Call{
+				Site:  site,
+				Op:    op,
+				Path:  path,
+				Occur: occur[site],
+				UID:   100,
+				EUID:  []int{0, 100, 666}[int(bits)%3],
+			},
+			ResolvedPath: path,
+		}
+		occur[site]++
+		if bits&0x04 != 0 {
+			e.Result.Err = vfs.ErrNotExist
+		}
+		e.Result.Flag = bits&0x08 != 0
+		e.Result.Data = fuzzPayloads[int(bits>>4)%len(fuzzPayloads)]
+		out = append(out, e)
+	}
+	return out
+}
+
+func raw0(b byte) byte { return b >> 6 }
+
+// FuzzOracleSeed asserts the seeded oracle's central equivalence: for an
+// arbitrary clean trace, an arbitrary armed index, an arbitrary perturbed
+// suffix, and an arbitrary policy variant, EvaluateFrom(armed, obs) over
+// the run trace clean[:armed]+suffix must equal the full Evaluate(obs)
+// walk — same violations, same order. The two preconditions the engine
+// guarantees (trace-prefix identity and a shared frozen Snap) hold by
+// construction here; everything else is adversarial.
+func FuzzOracleSeed(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint8(0), uint8(0))
+	f.Add([]byte{0, 0, 0, 1, 1, 16, 6, 2, 8}, []byte{7, 3, 0}, uint8(1), uint8(0))
+	f.Add([]byte{6, 4, 0, 0, 0, 0}, []byte{1, 1, 16, 5, 4, 1}, uint8(2), uint8(5))
+	f.Add([]byte{1, 1, 16, 1, 1, 16, 2, 6, 3}, []byte{9, 2, 255}, uint8(3), uint8(14))
+
+	snap := snapWorld(f)
+	snap.Freeze()
+
+	f.Fuzz(func(t *testing.T, cleanRaw, suffixRaw []byte, armedB, cfg uint8) {
+		p := Policy{
+			Invoker:           proc.NewCred(100, 100),
+			Attacker:          proc.NewCred([]int{100, 666, 0}[int(cfg)%3], 100),
+			TrustedWritePaths: []string{"/u/ta/submit"},
+			MinLeakLen:        []int{0, 4, 27}[int(cfg>>2)%3],
+		}
+
+		occur := map[string]int{}
+		clean := decodeFuzzTrace(cleanRaw, occur)
+		armed := int(armedB) % (len(clean) + 1)
+		// The run trace replays the clean prefix up to the armed point,
+		// then diverges arbitrarily — occurrence numbering continues from
+		// the prefix, as it would in a real perturbed run.
+		runOccur := map[string]int{}
+		for i := 0; i < armed; i++ {
+			runOccur[clean[i].Call.Site]++
+		}
+		runTrace := append(append([]interpose.Event(nil), clean[:armed]...),
+			decodeFuzzTrace(suffixRaw, runOccur)...)
+
+		obs := Observation{Trace: runTrace, Snap: snap}
+		if cfg&0x10 != 0 {
+			obs.Stdout = append(obs.Stdout, suffixRaw...)
+		}
+		if cfg&0x20 != 0 {
+			obs.Stdout = append(obs.Stdout, []byte("root:$1$SECRETHASH$:10000:\n")...)
+		}
+		if cfg&0x40 != 0 {
+			obs.Stdout = append(obs.Stdout, []byte("0123456789abcdef0123456789abcdef")...)
+		}
+		if cfg&0x80 != 0 {
+			obs.CrashMsg = "segfault"
+		}
+
+		seed := NewSeed(p, clean, snap)
+		got := seed.EvaluateFrom(armed, obs)
+		want := p.Evaluate(obs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seeded oracle diverged (armed=%d, clean=%d events, run=%d events):\n  seeded: %v\n  full:   %v",
+				armed, len(clean), len(runTrace), got, want)
+		}
+	})
+}

@@ -127,6 +127,22 @@ type dispatchMetrics struct {
 	writeOK, writeErr   *obs.Counter
 	queueDepth          *obs.Gauge
 	runSeconds          *obs.Histogram
+
+	phaseWorld, phaseExec, phaseCompare *obs.Histogram
+}
+
+// phaseFor maps an inject phase name to its histogram handle. Unknown
+// names (future phases) return nil, which Observe tolerates.
+func (m *dispatchMetrics) phaseFor(name string) *obs.Histogram {
+	switch name {
+	case "world":
+		return m.phaseWorld
+	case "exec":
+		return m.phaseExec
+	case "compare":
+		return m.phaseCompare
+	}
+	return nil
 }
 
 // resolve looks up every dispatch metric in r (nil-safe).
@@ -144,6 +160,10 @@ func (m *dispatchMetrics) resolve(r *obs.Registry) {
 	m.writeErr = r.Counter("eptest_cache_writebacks_total", wbHelp, "result", "error")
 	m.queueDepth = r.Gauge("eptest_queue_depth", "Tasks queued or executing in the dispatcher.")
 	m.runSeconds = r.Histogram("eptest_run_seconds", "Injection run duration.", obs.DefBuckets)
+	const phaseHelp = "Injection run duration split by internal phase."
+	m.phaseWorld = r.Histogram("eptest_run_phase_seconds", phaseHelp, obs.DefBuckets, "phase", "world")
+	m.phaseExec = r.Histogram("eptest_run_phase_seconds", phaseHelp, obs.DefBuckets, "phase", "exec")
+	m.phaseCompare = r.Histogram("eptest_run_phase_seconds", phaseHelp, obs.DefBuckets, "phase", "compare")
 }
 
 // Run dispatches the jobs and returns their results in job order.
@@ -484,13 +504,18 @@ func (st *dispatchState) planJob(w int, js *jobState) {
 // runOne executes a single injection run into its plan-order slot and
 // completes the job when it was the last one outstanding. With a
 // tracer attached the run renders as a span tree on the worker's row:
-// the run span containing its world/exec/compare phase children.
+// the run span containing its world/exec/compare phase children. With
+// a metrics registry attached the same phases feed the
+// eptest_run_phase_seconds histogram, one series per phase label.
 func (st *dispatchState) runOne(w int, t task) {
 	js := t.js
 	var phase inject.PhaseFunc
-	if tr := st.d.Tracer; tr != nil {
+	if tr := st.d.Tracer; tr != nil || st.d.Metrics != nil {
 		phase = func(name string, start time.Time, d time.Duration) {
-			tr.Span(w, "run", name, start, d, nil)
+			if tr != nil {
+				tr.Span(w, "run", name, start, d, nil)
+			}
+			st.m.phaseFor(name).Observe(d.Seconds())
 		}
 	}
 	start := time.Now()

@@ -245,6 +245,18 @@ func (b *Bus) OnPost(h PostHook) { b.post = append(b.post, h) }
 // measure injection overhead in isolation).
 func (b *Bus) SetRecording(on bool) { b.recording = on }
 
+// ReserveTrace hands the bus a pre-sized backing buffer for trace
+// recording, so a run harness that knows the expected trace length (from
+// the campaign's clean run) can recycle one allocation across runs. The
+// buffer is adopted only while the trace is still empty and only when it
+// grows capacity; len(buf) is ignored. The caller must not touch buf
+// again until the bus is discarded.
+func (b *Bus) ReserveTrace(buf []Event) {
+	if len(b.trace) == 0 && cap(buf) > cap(b.trace) {
+		b.trace = buf[:0]
+	}
+}
+
 // Begin stamps the call with its sequence and occurrence numbers and runs
 // the pre-hooks. The kernel must call Begin exactly once per interaction,
 // before touching the environment.

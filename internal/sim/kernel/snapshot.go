@@ -21,12 +21,16 @@ type Snapshot struct {
 	src       *Kernel
 }
 
-// Snapshot freezes the kernel's filesystem and captures the rest of its
-// state as the clean-world image. The receiver must not be mutated
-// afterwards — VFS writes panic once frozen, and the mailbox queues are
-// deep-copied here so later Fork calls see the capture-time state.
+// Snapshot freezes the kernel's filesystem and registry and captures the
+// rest of its state as the clean-world image. The receiver must not be
+// mutated afterwards — VFS and registry writes panic once frozen, and the
+// mailbox queues are deep-copied here so later Fork calls see the
+// capture-time state.
 func (k *Kernel) Snapshot() *Snapshot {
 	k.FS.Freeze()
+	if k.Reg != nil {
+		k.Reg.Freeze()
+	}
 	return &Snapshot{
 		fs:        k.FS,
 		programs:  k.programs,
@@ -41,11 +45,28 @@ func (k *Kernel) Snapshot() *Snapshot {
 // so no defensive clone is needed.
 func (s *Snapshot) FS() *vfs.FS { return s.fs }
 
-// Fork returns a fresh mutable kernel backed by the snapshot. The VFS is a
-// copy-on-write fork of the frozen tree; network, registry, accounts, and
-// mailboxes are cloned so no mutable state is shared between forks. PID
-// and inode counters continue from the snapshot's values, which keeps a
-// forked run's trace bit-identical to one against a freshly built world.
+// FreezeFS freezes the kernel's current filesystem in place, installs a
+// copy-on-write fork of it for the continuing run, and returns the frozen
+// image — the zero-clone snapshot primitive. The image is the world
+// exactly as of the call, captured in O(cow-map size) instead of a deep
+// clone; every subsequent operation lands in the fork, including writes
+// through file handles opened before the call (handle inodes resolve
+// through the fork's view/own barriers, never mutating the image).
+// Re-freezing mid-run is legal: a run forked from a campaign snapshot
+// simply gains a second frozen generation, and forks of forks chase the
+// copy-on-write chain transparently.
+func (k *Kernel) FreezeFS() *vfs.FS {
+	frozen := k.FS
+	frozen.Freeze()
+	k.FS = frozen.Fork()
+	return frozen
+}
+
+// Fork returns a fresh mutable kernel backed by the snapshot. The VFS and
+// registry are copy-on-write forks of the frozen state; network, accounts,
+// and mailboxes are cloned so no mutable state is shared between forks.
+// PID and inode counters continue from the snapshot's values, which keeps
+// a forked run's trace bit-identical to one against a freshly built world.
 func (s *Snapshot) Fork() *Kernel {
 	k := &Kernel{
 		FS:        s.fs.Fork(),
@@ -59,7 +80,7 @@ func (s *Snapshot) Fork() *Kernel {
 		k.Net = s.src.Net.Clone()
 	}
 	if s.src.Reg != nil {
-		k.Reg = s.src.Reg.Clone()
+		k.Reg = s.src.Reg.Fork()
 	}
 	return k
 }

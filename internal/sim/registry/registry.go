@@ -170,6 +170,15 @@ func (k *Key) SubkeyNames() []string {
 // hive root such as `HKLM\Software\Fonts\Cleanup`.
 type Registry struct {
 	hives map[string]*Key
+	// frozen marks the hive forest immutable so it can back Fork views;
+	// any mutation attempt panics (the same tripwire discipline as
+	// vfs.Freeze).
+	frozen bool
+	// base, when non-nil, is the frozen registry this view was forked
+	// from: hives aliases base.hives until the first mutation deep-copies
+	// the forest. Most injection runs never write the registry, so most
+	// forks never pay for a copy.
+	base *Registry
 }
 
 // New returns a registry with the standard hives.
@@ -218,6 +227,7 @@ func (r *Registry) find(path string) (*Key, error) {
 // with the given ACL. Existing keys are returned unchanged. This is a
 // world-construction helper and performs no permission checks.
 func (r *Registry) CreateKey(path string, acl ACL) (*Key, error) {
+	r.own()
 	parts, err := splitPath(path)
 	if err != nil {
 		return nil, err
@@ -284,6 +294,7 @@ func (r *Registry) GetDWord(path, name string, subject Principal) (uint32, error
 
 // SetString writes a string value, subject to the key ACL.
 func (r *Registry) SetString(path, name, s string, subject Principal) error {
+	r.own()
 	k, err := r.find(path)
 	if err != nil {
 		return err
@@ -297,6 +308,7 @@ func (r *Registry) SetString(path, name, s string, subject Principal) error {
 
 // SetDWord writes a numeric value, subject to the key ACL.
 func (r *Registry) SetDWord(path, name string, d uint32, subject Principal) error {
+	r.own()
 	k, err := r.find(path)
 	if err != nil {
 		return err
@@ -310,6 +322,7 @@ func (r *Registry) SetDWord(path, name string, d uint32, subject Principal) erro
 
 // DeleteValue removes a value, subject to the key ACL.
 func (r *Registry) DeleteValue(path, name string, subject Principal) error {
+	r.own()
 	k, err := r.find(path)
 	if err != nil {
 		return err
@@ -327,6 +340,7 @@ func (r *Registry) DeleteValue(path, name string, subject Principal) error {
 // SetACL replaces the ACL on the key at path. World-construction and
 // perturbation helper; no permission check.
 func (r *Registry) SetACL(path string, acl ACL) error {
+	r.own()
 	k, err := r.find(path)
 	if err != nil {
 		return err
@@ -369,7 +383,11 @@ func (r *Registry) UnprotectedKeys() []string {
 
 // Clone deep-copies the registry for campaign world resets.
 func (r *Registry) Clone() *Registry {
-	c := &Registry{hives: make(map[string]*Key, len(r.hives))}
+	return &Registry{hives: cloneHives(r.hives)}
+}
+
+func cloneHives(hives map[string]*Key) map[string]*Key {
+	c := make(map[string]*Key, len(hives))
 	var rec func(k *Key) *Key
 	rec = func(k *Key) *Key {
 		nk := newKey(k.Name, k.ACL.Clone())
@@ -381,8 +399,39 @@ func (r *Registry) Clone() *Registry {
 		}
 		return nk
 	}
-	for h, k := range r.hives {
-		c.hives[h] = rec(k)
+	for h, k := range hives {
+		c[h] = rec(k)
 	}
 	return c
+}
+
+// Freeze marks the registry immutable so it can serve as the base image
+// for Fork views. Any subsequent mutation attempt panics.
+func (r *Registry) Freeze() { r.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (r *Registry) Frozen() bool { return r.frozen }
+
+// Fork returns a mutable registry view sharing the (frozen) receiver's
+// hive forest. Construction is O(1); the first mutation through the view
+// deep-copies the forest, so runs that never write the registry — the
+// overwhelming majority — share the base for free.
+func (r *Registry) Fork() *Registry {
+	if !r.frozen {
+		panic("registry: Fork of unfrozen registry")
+	}
+	return &Registry{hives: r.hives, base: r}
+}
+
+// own materialises a private hive forest ahead of a mutation. Every
+// mutator calls it first.
+func (r *Registry) own() {
+	if r.frozen {
+		panic("registry: mutation of frozen registry")
+	}
+	if r.base == nil {
+		return
+	}
+	r.hives = cloneHives(r.base.hives)
+	r.base = nil
 }
