@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/apps"
@@ -53,20 +54,37 @@ func suiteCatalog(useMatrix bool, filter string) ([]sched.Job, []string, error) 
 	return jobs, catalog, nil
 }
 
+// coordJournalPath locates the coordinator's durable-state journal
+// inside a store directory.
+func coordJournalPath(storeDir string) string {
+	return filepath.Join(storeDir, "coord", "journal.jsonl")
+}
+
 // runServeCoord serves the campaign coordinator and the result store
 // on one listener until the process is terminated: workers dial a
 // single -coord-url for claims, leases, completions, AND the shared
 // cache. When the queue drains, the merged suite result is written to
 // the store as a 1-of-1 shard artifact, so `eptest -merge DIR` renders
 // the exact report a single-process run would have printed — the
-// coordinator keeps serving afterwards for late duplicate completions
-// and state queries.
+// coordinator keeps serving afterwards for late duplicate completions,
+// campaign submissions, and state queries.
 //
-// The same listener carries the observability surface: GET /v1/status
+// The queue is durable: every claim, renewal, and completion is
+// journaled under <store>/coord/, and a restarted coordinator folds
+// the journal back — completed work stays completed (results
+// cache-resident in the same store), in-flight leases requeue when
+// their original deadlines pass, and the fleet rides out the restart
+// through its usual failure tolerance. The journal binds to the
+// catalog it was written for, so a restart must use the same
+// -matrix/-filter flags.
+//
+// The same listener carries the campaign submission API (POST/GET
+// /v1/campaigns, sharing the path space with the cache transport's
+// fingerprint routes) and the observability surface: GET /v1/status
 // (live queue snapshot as JSON), GET /status (self-refreshing HTML
 // page over the same snapshot), and GET /metrics (Prometheus text for
 // the queue, store and HTTP metrics) — all behind the bearer token.
-func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.Duration, token, pprofAddr string, stdout, stderr io.Writer) int {
+func runServeCoord(addr, dir string, useMatrix bool, filter string, lease, retention time.Duration, token, pprofAddr string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
@@ -81,19 +99,42 @@ func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.D
 	if !startPprof(pprofAddr, reg, stdout, stderr) {
 		return 2
 	}
-	co := coord.New(catalog, coord.Options{LeaseTTL: lease, Metrics: reg})
+	journal, recs, err := coord.OpenFileJournal(coordJournalPath(st.Dir()))
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	co, err := coord.Restore(catalog, coord.Options{
+		LeaseTTL:  lease,
+		Metrics:   reg,
+		Journal:   journal,
+		Results:   st,
+		Retention: retention,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "eptest: "+format+"\n", args...)
+		},
+	}, recs)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
 
 	// Each subtree is wrapped in the HTTP middleware exactly once — the
-	// coordinator protocol here, the store routes inside NewServer — so
-	// a request increments eptest_http_requests_total exactly once. The
-	// metrics and status endpoints themselves stay unwrapped: scrapes
-	// and page refreshes should not drown the traffic they report on.
+	// coordinator protocol here, the campaign API inside CampaignAPI,
+	// the store routes inside NewServer — so a request increments
+	// eptest_http_requests_total exactly once. The metrics and status
+	// endpoints themselves stay unwrapped: scrapes and page refreshes
+	// should not drown the traffic they report on.
 	mux := http.NewServeMux()
 	mux.Handle(coord.Prefix, obs.Middleware(reg, coord.NewServer(co)))
+	storeSrv := store.NewServer(st, store.WithServerMetrics(reg))
+	campaigns := coord.CampaignAPI(co, storeSrv, reg)
+	mux.Handle("/v1/campaigns", campaigns)
+	mux.Handle("/v1/campaigns/", campaigns)
 	mux.Handle("GET /v1/status", coord.StatusHandler(co))
 	mux.Handle("GET /status", coord.StatusPage(co))
 	mux.Handle("GET /metrics", reg.Handler())
-	mux.Handle("/", store.NewServer(st, store.WithServerMetrics(reg)))
+	mux.Handle("/", storeSrv)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -102,6 +143,11 @@ func runServeCoord(addr, dir string, useMatrix bool, filter string, lease time.D
 	}
 	fmt.Fprintf(stdout, "eptest: coordinator listening on %s (%d jobs, lease %s, store %s)\n",
 		ln.Addr(), len(catalog), lease, st.Dir())
+	if co.Resumed() {
+		rst := co.Stats()
+		fmt.Fprintf(stdout, "eptest: resumed from journal — %d done, %d claimed, %d pending of %d jobs\n",
+			rst.Done, rst.Claimed, rst.Pending, rst.Jobs)
+	}
 
 	go func() {
 		<-co.Drained()

@@ -113,9 +113,31 @@ func TestCoordElasticFlow(t *testing.T) {
 		t.Errorf("merged coordinator report differs from -all:\n--- all ---\n%s\n--- merged ---\n%s", want, got[:i])
 	}
 
-	// Elastic second generation: a fresh coordinator over the same
-	// store — every campaign replays source-level from the shared
-	// cache the first generation populated.
+	// Restart semantics first: a second coordinator over the same
+	// store resumes the drained queue from its journal instead of
+	// re-opening it.
+	var resumedOut, resumedErr syncBuffer
+	go run([]string{"-serve-coord", "127.0.0.1:0", "-cache", dir, "-lease", "300ms",
+		"-filter", "lpr*", "-auth-token", token}, &resumedOut, &resumedErr)
+	rdl := time.Now().Add(5 * time.Second)
+	for !strings.Contains(resumedOut.String(), "resumed from journal") {
+		if time.Now().After(rdl) {
+			t.Fatalf("restarted coordinator did not resume from journal; stdout %q stderr %q",
+				resumedOut.String(), resumedErr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(resumedOut.String(), "4 done, 0 claimed, 0 pending of 4 jobs") {
+		t.Errorf("resumed coordinator state:\n%s", resumedOut.String())
+	}
+
+	// Elastic second generation: the queue is durable now, so starting
+	// a genuinely fresh generation means retiring the old journal.
+	// With it gone, every campaign replays source-level from the
+	// shared cache the first generation populated.
+	if err := os.Remove(filepath.Join(dir, "coord", "journal.jsonl")); err != nil {
+		t.Fatal(err)
+	}
 	url2 := startCoordServer(t, dir, "-filter", "lpr*", "-auth-token", token)
 	var warm bytes.Buffer
 	if code := run([]string{"-all", "-j", "4", "-filter", "lpr*",

@@ -53,7 +53,7 @@
 //	eptest -merge DIR [-matrix]
 //	eptest -bench-gate BASELINE.json -bench-json FRESH.json [-gate-tolerance F]
 //	eptest -serve-cache ADDR -cache DIR [-auth-token TOKEN] [-pprof ADDR]
-//	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-auth-token TOKEN] [-pprof ADDR]
+//	eptest -serve-coord ADDR -cache DIR [-matrix] [-filter GLOB] [-lease DUR] [-campaign-retention DUR] [-auth-token TOKEN] [-pprof ADDR]
 package main
 
 import (
@@ -139,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workerName = fs.String("worker", "", "with -coord-url: worker name shown in the coordinator report (default host-pid)")
 		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
 		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
+		retention  = fs.Duration("campaign-retention", coord.DefaultCampaignRetention, "with -serve-coord: how long a finished named campaign's status record stays visible before it is garbage-collected (0 keeps records forever)")
 		snapshots  = fs.Bool("snapshots", true, "build each campaign world once and fork copy-on-write snapshots per injection run; -snapshots=false rebuilds every world from scratch (byte-identical results, for cross-checking)")
 		oracleSeed = fs.Bool("oracle-seed", true, "precompute each campaign's security-oracle state over the clean trace and evaluate each run from its armed point; -oracle-seed=false re-walks every run's full trace (byte-identical results, for cross-checking)")
 		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE; with -bench-gate: the fresh run's record to judge")
@@ -166,6 +167,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *lease != coord.DefaultLeaseTTL && *serveCoord == "" {
 		fmt.Fprintln(stderr, "eptest: -lease is a coordinator-side setting; it needs -serve-coord (workers inherit the TTL at registration)")
+		return 2
+	}
+	if *retention != coord.DefaultCampaignRetention && *serveCoord == "" {
+		fmt.Fprintln(stderr, "eptest: -campaign-retention is a coordinator-side setting; it needs -serve-coord")
 		return 2
 	}
 	if *benchGate != "" {
@@ -204,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "eptest: -lease %v is not a lease TTL; pass how long a silent worker keeps its claims (e.g. -lease 60s)\n", *lease)
 			return 2
 		}
-		return runServeCoord(*serveCoord, *cache, *matrix, *filter, *lease, *authToken, *pprofAddr, stdout, stderr)
+		return runServeCoord(*serveCoord, *cache, *matrix, *filter, *lease, *retention, *authToken, *pprofAddr, stdout, stderr)
 	}
 	if *serveCache != "" {
 		if *list || *all || *campaign != "" || *merge != "" || *shard != "" || *cacheURL != "" || *coordURL != "" || *matrix || *filter != "" {

@@ -1,0 +1,118 @@
+package coord
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/core/obs"
+	"repro/internal/core/store"
+)
+
+// The campaign submission surface, sharing the /v1/campaigns path
+// space with the cache transport's content-addressed entry routes
+// (docs/COORDINATOR.md spells out the schemas):
+//
+//	POST /v1/campaigns        submit a CampaignSpec    -> CampaignStatus (201)
+//	GET  /v1/campaigns        list campaigns           -> CampaignList
+//	GET  /v1/campaigns/{name} one campaign's status    -> CampaignStatus
+//
+// Everything else under the prefix — GET/PUT of a 64-hex fingerprint,
+// the cache transport's routes — falls through to the store server.
+const campaignsPrefix = "/v1/campaigns"
+
+// CampaignList is the GET /v1/campaigns response body.
+type CampaignList struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+}
+
+// CampaignAPI routes the campaign submission surface to co and every
+// cache-transport request on the shared path space to fallback. Only
+// the API's own routes are wrapped in reg's HTTP middleware — the
+// store server instruments itself, and double-wrapping would count
+// each cache request twice.
+func CampaignAPI(co *Coordinator, fallback http.Handler, reg *obs.Registry) http.Handler {
+	api := &campaignAPI{co: co}
+	own := obs.Middleware(reg, http.HandlerFunc(api.serve))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if api.handles(r) {
+			own.ServeHTTP(w, r)
+			return
+		}
+		fallback.ServeHTTP(w, r)
+	})
+}
+
+type campaignAPI struct {
+	co *Coordinator
+}
+
+// campaignName extracts the {name} path element, or "" for the bare
+// collection path (with or without trailing slash).
+func campaignName(path string) string {
+	rest := strings.TrimPrefix(path, campaignsPrefix)
+	return strings.TrimPrefix(rest, "/")
+}
+
+// handles decides whether a request is the API's (true) or the cache
+// transport's (false). Cache entries are addressed by fingerprint —
+// 64 hex characters, a shape DecodeCampaignSpec refuses as a campaign
+// name — and the cache transport also owns every non-GET entry route
+// (PUT of an entry); the API owns the bare collection path and GETs of
+// non-fingerprint names.
+func (a *campaignAPI) handles(r *http.Request) bool {
+	if r.URL.Path != campaignsPrefix && !strings.HasPrefix(r.URL.Path, campaignsPrefix+"/") {
+		return false
+	}
+	name := campaignName(r.URL.Path)
+	if name == "" {
+		return true
+	}
+	return r.Method == http.MethodGet && !store.IsFingerprint(name)
+}
+
+func (a *campaignAPI) serve(w http.ResponseWriter, r *http.Request) {
+	name := campaignName(r.URL.Path)
+	if name != "" {
+		st, ok := a.co.Campaign(name)
+		if !ok {
+			http.Error(w, "coord: no campaign named "+name, http.StatusNotFound)
+			return
+		}
+		reply(w, st)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		reply(w, CampaignList{Campaigns: a.co.Campaigns()})
+	case http.MethodPost:
+		a.submit(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "coord: campaigns accepts GET and POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func (a *campaignAPI) submit(w http.ResponseWriter, r *http.Request) {
+	b, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := DecodeCampaignSpec(b)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := a.co.Submit(*spec)
+	switch {
+	case errors.Is(err, ErrCampaignExists):
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	reply(w, st)
+}

@@ -1,0 +1,202 @@
+package coord_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/coord"
+)
+
+// campaignServer mounts the campaign API over a recording fallback and
+// returns it with the coordinator underneath, its one registered
+// worker's id, and the requests the fallback saw.
+func campaignServer(t *testing.T) (*httptest.Server, *coord.Coordinator, string, *[]string) {
+	t.Helper()
+	co, _, ids := newCoord(t, "alice")
+	var fellThrough []string
+	fallback := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fellThrough = append(fellThrough, r.Method+" "+r.URL.Path)
+		w.WriteHeader(http.StatusTeapot)
+	})
+	srv := httptest.NewServer(coord.CampaignAPI(co, fallback, nil))
+	t.Cleanup(srv.Close)
+	return srv, co, ids[0], &fellThrough
+}
+
+// postCampaign submits a spec and decodes the response.
+func postCampaign(t *testing.T, srv *httptest.Server, spec coord.CampaignSpec) (*http.Response, coord.CampaignStatus) {
+	t.Helper()
+	b, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st coord.CampaignStatus
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+// getJSON fetches a URL and decodes the JSON body into v, returning
+// the status code.
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestCampaignAPIConcurrentCampaigns pins the multi-campaign flow: two
+// named campaigns submitted over REST queue through the same lease
+// machinery with independent status and history.
+func TestCampaignAPIConcurrentCampaigns(t *testing.T) {
+	t.Parallel()
+	srv, co, id, _ := campaignServer(t)
+
+	resp, a := postCampaign(t, srv, coord.CampaignSpec{Name: "a-camp", Filter: "a*", Priority: 2})
+	if resp.StatusCode != http.StatusCreated || a.Jobs != 2 || a.State != "running" {
+		t.Fatalf("submit a-camp = %d %+v", resp.StatusCode, a)
+	}
+	resp, b := postCampaign(t, srv, coord.CampaignSpec{Name: "b-camp", Filter: "b*", Priority: 1})
+	if resp.StatusCode != http.StatusCreated || b.Jobs != 2 {
+		t.Fatalf("submit b-camp = %d %+v", resp.StatusCode, b)
+	}
+
+	// a-camp outranks b-camp, so the fleet drains a/* first. Completing
+	// both a jobs finishes a-camp while b-camp still runs.
+	for _, idx := range []int{0, 1} {
+		mustClaim(t, co, id, idx)
+		if dup, err := co.Complete(id, idx, fakeOutcome(t, idx)); err != nil || dup {
+			t.Fatalf("Complete(%d) = (dup %v, %v)", idx, dup, err)
+		}
+	}
+	var got coord.CampaignStatus
+	if code := getJSON(t, srv.URL+"/v1/campaigns/a-camp", &got); code != http.StatusOK {
+		t.Fatalf("GET a-camp = %d", code)
+	}
+	if got.Done != 2 || got.State != "done" || got.FinishedMillis == 0 {
+		t.Errorf("a-camp after its jobs completed = %+v, want done", got)
+	}
+	if code := getJSON(t, srv.URL+"/v1/campaigns/b-camp", &got); code != http.StatusOK {
+		t.Fatalf("GET b-camp = %d", code)
+	}
+	if got.Done != 0 || got.State != "running" {
+		t.Errorf("b-camp = %+v, want still running with 0 done", got)
+	}
+
+	var list coord.CampaignList
+	if code := getJSON(t, srv.URL+"/v1/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("GET list = %d", code)
+	}
+	if len(list.Campaigns) != 3 || list.Campaigns[0].Name != coord.DefaultCampaignName {
+		t.Errorf("campaign list = %+v, want default + a-camp + b-camp", list.Campaigns)
+	}
+}
+
+// TestCampaignAPIErrors pins the failure surface: duplicate names
+// conflict, empty filters that match nothing are rejected, malformed
+// specs and unknown names fail with the right codes.
+func TestCampaignAPIErrors(t *testing.T) {
+	t.Parallel()
+	srv, _, _, _ := campaignServer(t)
+
+	if resp, _ := postCampaign(t, srv, coord.CampaignSpec{Name: "dup", Filter: "a*"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	if resp, _ := postCampaign(t, srv, coord.CampaignSpec{Name: "dup", Filter: "b*"}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate submit = %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := postCampaign(t, srv, coord.CampaignSpec{Name: "empty", Filter: "zzz*"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-job submit = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postCampaign(t, srv, coord.CampaignSpec{Name: "bad name!"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed name submit = %d, want 400", resp.StatusCode)
+	}
+	if code := getJSON(t, srv.URL+"/v1/campaigns/nope", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown campaign = %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/campaigns", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE collection = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCampaignAPIFallthrough pins the shared path space: fingerprint
+// GETs and every non-GET entry route belong to the cache transport,
+// not the campaign API.
+func TestCampaignAPIFallthrough(t *testing.T) {
+	t.Parallel()
+	srv, _, _, fell := campaignServer(t)
+	fp := strings.Repeat("ab", 32)
+
+	resp, err := http.Get(srv.URL + "/v1/campaigns/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/campaigns/"+fp, strings.NewReader("{}"))
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want := []string{"GET /v1/campaigns/" + fp, "PUT /v1/campaigns/" + fp}
+	if len(*fell) != 2 || (*fell)[0] != want[0] || (*fell)[1] != want[1] {
+		t.Errorf("fallback saw %q, want %q", *fell, want)
+	}
+}
+
+// TestCampaignRetentionGC pins the retention knob: a finished named
+// campaign's status record stays visible for the retention window and
+// is collected afterwards; the default campaign is never collected.
+func TestCampaignRetentionGC(t *testing.T) {
+	t.Parallel()
+	clk := newFakeClock()
+	co := coord.New(testCatalog, coord.Options{
+		LeaseTTL: 10 * time.Second, Now: clk.Now, Retention: time.Hour,
+	})
+	id, err := co.Register("alice", testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Submit(coord.CampaignSpec{Name: "short", Filter: "a*"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 1} {
+		mustClaim(t, co, id, idx)
+		if dup, err := co.Complete(id, idx, fakeOutcome(t, idx)); err != nil || dup {
+			t.Fatalf("Complete(%d) = (dup %v, %v)", idx, dup, err)
+		}
+	}
+	clk.Advance(30 * time.Minute)
+	if _, ok := co.Campaign("short"); !ok {
+		t.Fatal("finished campaign collected before its retention window")
+	}
+	clk.Advance(31 * time.Minute)
+	if _, ok := co.Campaign("short"); ok {
+		t.Error("finished campaign still visible past retention")
+	}
+	if _, ok := co.Campaign(coord.DefaultCampaignName); !ok {
+		t.Error("default campaign was collected")
+	}
+}

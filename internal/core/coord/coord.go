@@ -11,14 +11,25 @@
 // worker — requeues its job for the next claimer, and late duplicate
 // completions are resolved first-write-wins, so every catalog index
 // ends up with exactly one recorded outcome and the merged suite
-// report is byte-identical to a single-process run. The state machine,
-// wire schema, and failure semantics are specified in
+// report is byte-identical to a single-process run.
+//
+// The queue is durable when Options.Journal is set: every state
+// transition appends one record, and Restore folds the journal back
+// into a coordinator after a crash or restart — in-flight leases keep
+// their absolute deadlines (stale ones requeue at the first sweep),
+// recorded outcomes are reloaded (cache-resident results by
+// reference), and the fleet resumes mid-campaign. Named campaigns —
+// filtered, prioritised views over the shared catalog submitted
+// through the REST API — ride the same journal. The state machine,
+// wire schema, journal records, and failure semantics are specified in
 // docs/COORDINATOR.md.
 package coord
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
@@ -33,6 +44,23 @@ import (
 // worker's jobs requeue before an operator notices the stall.
 const DefaultLeaseTTL = 60 * time.Second
 
+// DefaultCampaignName names the implicit campaign covering the full
+// catalog. It exists from startup, is never garbage-collected, and is
+// what a plain worker fleet drains when nothing has been submitted.
+const DefaultCampaignName = "default"
+
+// DefaultCampaignRetention is how long a finished named campaign's
+// record stays visible in status endpoints before the sweep drops it,
+// when the operator does not override -campaign-retention.
+const DefaultCampaignRetention = 24 * time.Hour
+
+// workerGCFloor bounds how aggressively departed workers are folded
+// away: even under a very short test-grade lease TTL, a silent worker
+// keeps its status row for at least this long, so a fleet riding out a
+// coordinator restart (or a test inspecting per-worker counters) never
+// loses a row mid-flight.
+const workerGCFloor = time.Minute
+
 // Options parameterises a Coordinator.
 type Options struct {
 	// LeaseTTL is how long a claim stays valid without a renewal.
@@ -45,6 +73,24 @@ type Options struct {
 	// renewals, lease expiries, completion results, and job/worker
 	// gauges, all under the eptest_coord_* names.
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives every queue state transition;
+	// Restore folds the records back after a restart. Nil means the
+	// queue is in-memory only (the pre-durability behaviour).
+	Journal Journal
+	// Results, when non-nil, is the campaign-result cache the journal
+	// dedups against: completed outcomes whose results are
+	// cache-resident under their fingerprint are journaled by
+	// reference instead of inline, and re-encoded from the cache at
+	// restore.
+	Results sched.Cache
+	// Retention is how long a finished named campaign stays visible
+	// before the sweep garbage-collects its record. Zero disables the
+	// GC; the default campaign is always exempt.
+	Retention time.Duration
+	// Logf, when non-nil, receives operational warnings (journal
+	// write failures, unreadable cache refs, template render errors).
+	// Nil means the standard logger.
+	Logf func(format string, args ...any)
 }
 
 // jobPhase is one catalog entry's position in the lease state machine.
@@ -73,6 +119,36 @@ type workerStats struct {
 	lastSeen                                            time.Time // last protocol call (the heartbeat age base)
 }
 
+// campaign is one named view over the shared per-index job state. All
+// campaigns share the catalog's single lease/outcome record per index
+// — a completed index satisfies every campaign containing it, so
+// overlapping campaigns dedup by construction. A campaign influences
+// claiming only through its priority: Claim hands out the pending
+// index whose best containing campaign has the highest priority.
+type campaign struct {
+	name, filter, note string
+	priority           int
+	member             []bool // member[i]: catalog index i is in this campaign
+	jobs, done         int
+	createdAt          time.Time
+	finishedAt         time.Time // zero while running
+
+	gPending, gClaimed, gDone *obs.Gauge
+}
+
+// DepartedStats aggregates the protocol counters of workers the churn
+// sweep has folded away, so the totals a departed worker earned stay
+// visible after its status row is gone.
+type DepartedStats struct {
+	Workers     int `json:"workers"`
+	Claims      int `json:"claims,omitempty"`
+	Renewals    int `json:"renewals,omitempty"`
+	Completions int `json:"completions,omitempty"`
+	Duplicates  int `json:"duplicates,omitempty"`
+	Expiries    int `json:"expiries,omitempty"`
+	RunsDone    int `json:"runs_done,omitempty"`
+}
+
 // Coordinator is the lease-based claim queue over one job catalog. All
 // methods are safe for concurrent use; expired leases are swept lazily
 // on every call, so no background timer is needed.
@@ -81,20 +157,39 @@ type Coordinator struct {
 	catalog []string
 	ttl     time.Duration
 	now     func() time.Time
+	reg     *obs.Registry
 
-	jobs    []jobRecord
-	workers map[string]*workerStats
-	order   []string // worker ids in registration order
-	nextID  int
+	jobs     []jobRecord
+	workers  map[string]*workerStats
+	order    []string          // worker ids in registration order
+	byName   map[string]string // live worker name -> id, the reattach seam
+	nextID   int
+	departed DepartedStats
+
+	campaigns map[string]*campaign
+	campOrder []string // campaign names in submission order, default first
+	retention time.Duration
+
+	journal        Journal
+	results        sched.Cache
+	logFn          func(format string, args ...any)
+	journalErrOnce sync.Once
+	resumed        bool
 
 	done       int // jobs in jobDone
 	requeues   int
 	expiries   int
 	duplicates int
-	runsDone   int       // injection runs across recorded outcomes
-	startedAt  time.Time // queue creation, the ETA's rate base
-	m          coordMetrics
-	drained    chan struct{}
+	runsDone   int // injection runs across recorded outcomes
+	// liveDone/liveRuns count only completions recorded by this
+	// process — journal replay restores done/runsDone but not these, so
+	// the ETA's observed-throughput base never mixes pre-restart work
+	// into the post-restart elapsed time.
+	liveDone  int
+	liveRuns  int
+	startedAt time.Time // queue creation (or restore), the ETA's rate base
+	m         coordMetrics
+	drained   chan struct{}
 	// change is closed and replaced whenever the queue gains pending
 	// work or drains — the edges a blocked claim waits on. The HTTP
 	// server's long-poll loop selects on it so workers learn about
@@ -104,8 +199,21 @@ type Coordinator struct {
 }
 
 // New returns a coordinator over the catalog (the label of every job
-// in the full suite, in order — what sched.Job.Label renders).
+// in the full suite, in order — what sched.Job.Label renders). With
+// Options.Journal set, the journal's meta header is written; use
+// Restore to rebuild from an existing journal instead.
 func New(catalog []string, opt Options) *Coordinator {
+	co := newCoordinator(catalog, opt)
+	co.mu.Lock()
+	co.appendJournalLocked(co.metaRecordLocked())
+	co.mu.Unlock()
+	return co
+}
+
+// newCoordinator builds the in-memory state shared by New and Restore,
+// including the implicit full-catalog default campaign. It writes no
+// journal records.
+func newCoordinator(catalog []string, opt Options) *Coordinator {
 	ttl := opt.LeaseTTL
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
@@ -118,15 +226,43 @@ func New(catalog []string, opt Options) *Coordinator {
 		catalog:   append([]string(nil), catalog...),
 		ttl:       ttl,
 		now:       now,
+		reg:       opt.Metrics,
 		jobs:      make([]jobRecord, len(catalog)),
 		workers:   make(map[string]*workerStats),
+		byName:    make(map[string]string),
+		campaigns: make(map[string]*campaign),
+		retention: opt.Retention,
+		journal:   opt.Journal,
+		results:   opt.Results,
+		logFn:     opt.Logf,
 		startedAt: now(),
 		drained:   make(chan struct{}),
 		change:    make(chan struct{}),
 	}
 	co.m.resolve(opt.Metrics)
+	// The default campaign always matches the full catalog, so the
+	// zero-member error path is unreachable.
+	co.newCampaignLocked(DefaultCampaignName, "", 0, "full catalog", co.startedAt)
 	co.updateGaugesLocked()
 	return co
+}
+
+// logf routes an operational warning to Options.Logf or the standard
+// logger.
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.logFn != nil {
+		co.logFn(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Resumed reports whether this coordinator was rebuilt from a journal
+// (Restore with records) rather than started fresh.
+func (co *Coordinator) Resumed() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.resumed
 }
 
 // coordMetrics is the coordinator's metric handles, resolved once at
@@ -158,6 +294,89 @@ func (m *coordMetrics) resolve(r *obs.Registry) {
 	m.doneJobs = r.Gauge("eptest_coord_jobs", jobsHelp, "phase", "done")
 }
 
+// campaignGaugeHelp documents the per-campaign job gauges.
+const campaignGaugeHelp = "Campaign jobs by lease phase."
+
+// newCampaignLocked creates a campaign from a filter over the catalog,
+// counting already-done members so a campaign submitted after its work
+// happened completes instantly. Callers hold co.mu (or own co
+// exclusively during construction/restore).
+func (co *Coordinator) newCampaignLocked(name, filter string, priority int, note string, created time.Time) (*campaign, error) {
+	c := &campaign{
+		name: name, filter: filter, priority: priority, note: note,
+		member:    make([]bool, len(co.jobs)),
+		createdAt: created,
+	}
+	for i, label := range co.catalog {
+		if sched.MatchLabel(filter, label) {
+			c.member[i] = true
+			c.jobs++
+			if co.jobs[i].phase == jobDone {
+				c.done++
+			}
+		}
+	}
+	if c.jobs == 0 && name != DefaultCampaignName {
+		return nil, fmt.Errorf("%w (filter %q)", ErrNoJobs, filter)
+	}
+	if c.jobs > 0 && c.done == c.jobs {
+		c.finishedAt = created
+	}
+	if co.reg != nil {
+		c.gPending = co.reg.Gauge("eptest_coord_campaign_jobs", campaignGaugeHelp, "campaign", name, "phase", "pending")
+		c.gClaimed = co.reg.Gauge("eptest_coord_campaign_jobs", campaignGaugeHelp, "campaign", name, "phase", "claimed")
+		c.gDone = co.reg.Gauge("eptest_coord_campaign_jobs", campaignGaugeHelp, "campaign", name, "phase", "done")
+	}
+	co.campaigns[name] = c
+	co.campOrder = append(co.campOrder, name)
+	co.updateCampaignGaugesLocked(c)
+	return c, nil
+}
+
+// dropCampaignLocked removes a campaign record (retention GC, or a
+// journal campaign-gc replay). Callers hold co.mu.
+func (co *Coordinator) dropCampaignLocked(name string) {
+	c := co.campaigns[name]
+	if c == nil || name == DefaultCampaignName {
+		return
+	}
+	c.gPending.Set(0)
+	c.gClaimed.Set(0)
+	c.gDone.Set(0)
+	delete(co.campaigns, name)
+	for i, n := range co.campOrder {
+		if n == name {
+			co.campOrder = append(co.campOrder[:i], co.campOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// updateCampaignGaugesLocked republishes one campaign's phase gauges.
+// Callers hold co.mu.
+func (co *Coordinator) updateCampaignGaugesLocked(c *campaign) {
+	if c.gPending == nil {
+		return
+	}
+	pending, claimed, done := 0, 0, 0
+	for i, in := range c.member {
+		if !in {
+			continue
+		}
+		switch co.jobs[i].phase {
+		case jobPending:
+			pending++
+		case jobClaimed:
+			claimed++
+		case jobDone:
+			done++
+		}
+	}
+	c.gPending.Set(int64(pending))
+	c.gClaimed.Set(int64(claimed))
+	c.gDone.Set(int64(done))
+}
+
 // updateGaugesLocked republishes the job-phase gauges. Callers hold
 // co.mu (or, in New, exclusive ownership).
 func (co *Coordinator) updateGaugesLocked() {
@@ -173,6 +392,9 @@ func (co *Coordinator) updateGaugesLocked() {
 	co.m.pending.Set(int64(pending))
 	co.m.claimed.Set(int64(claimed))
 	co.m.doneJobs.Set(int64(co.done))
+	for _, name := range co.campOrder {
+		co.updateCampaignGaugesLocked(co.campaigns[name])
+	}
 }
 
 // notifyLocked wakes every blocked claim. Callers hold co.mu.
@@ -212,8 +434,10 @@ func (co *Coordinator) LeaseTTL() time.Duration { return co.ttl }
 // Catalog returns the job catalog the coordinator serves.
 func (co *Coordinator) Catalog() []string { return append([]string(nil), co.catalog...) }
 
-// sweepLocked requeues every claimed job whose lease has expired.
-// Callers hold co.mu.
+// sweepLocked advances everything time-driven: it requeues every
+// claimed job whose lease has expired, folds long-silent workers into
+// the departed aggregate, and drops finished campaigns past their
+// retention. Callers hold co.mu.
 func (co *Coordinator) sweepLocked() {
 	now := co.now()
 	requeued := false
@@ -223,6 +447,7 @@ func (co *Coordinator) sweepLocked() {
 			if ws := co.workers[j.worker]; ws != nil {
 				ws.expiries++
 			}
+			co.appendJournalLocked(&JournalRecord{Op: opExpire, Index: i, Worker: j.worker})
 			j.phase = jobPending
 			j.worker = ""
 			j.expires = time.Time{}
@@ -232,9 +457,90 @@ func (co *Coordinator) sweepLocked() {
 			requeued = true
 		}
 	}
+	co.gcWorkersLocked(now)
+	co.gcCampaignsLocked(now)
 	if requeued {
 		co.updateGaugesLocked()
 		co.notifyLocked()
+	}
+}
+
+// gcWorkersLocked folds workers that hold no lease and have been
+// silent for max(3×TTL, 1min) into the departed aggregate, so an
+// always-on coordinator under worker churn keeps a bounded status
+// table instead of one row per join ever. Callers hold co.mu.
+func (co *Coordinator) gcWorkersLocked(now time.Time) {
+	cutoff := 3 * co.ttl
+	if cutoff < workerGCFloor {
+		cutoff = workerGCFloor
+	}
+	held := make(map[string]int)
+	for i := range co.jobs {
+		if co.jobs[i].phase == jobClaimed {
+			held[co.jobs[i].worker]++
+		}
+	}
+	var gone []string
+	for _, id := range co.order {
+		ws := co.workers[id]
+		if held[id] == 0 && now.Sub(ws.lastSeen) >= cutoff {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		co.departWorkerLocked(id)
+		co.appendJournalLocked(&JournalRecord{Op: opWorkerGone, Worker: id})
+	}
+	if len(gone) > 0 {
+		co.m.workers.Set(int64(len(co.workers)))
+	}
+}
+
+// departWorkerLocked folds one worker's counters into the departed
+// aggregate and removes its row. Callers hold co.mu.
+func (co *Coordinator) departWorkerLocked(id string) {
+	ws := co.workers[id]
+	if ws == nil {
+		return
+	}
+	co.departed.Workers++
+	co.departed.Claims += ws.claims
+	co.departed.Renewals += ws.renewals
+	co.departed.Completions += ws.completions
+	co.departed.Duplicates += ws.duplicates
+	co.departed.Expiries += ws.expiries
+	co.departed.RunsDone += ws.runsDone
+	delete(co.workers, id)
+	if ws.name != "" && co.byName[ws.name] == id {
+		delete(co.byName, ws.name)
+	}
+	for i, oid := range co.order {
+		if oid == id {
+			co.order = append(co.order[:i], co.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// gcCampaignsLocked drops finished named campaigns older than the
+// retention window. Callers hold co.mu.
+func (co *Coordinator) gcCampaignsLocked(now time.Time) {
+	if co.retention <= 0 {
+		return
+	}
+	var gone []string
+	for _, name := range co.campOrder {
+		if name == DefaultCampaignName {
+			continue
+		}
+		c := co.campaigns[name]
+		if !c.finishedAt.IsZero() && now.Sub(c.finishedAt) >= co.retention {
+			gone = append(gone, name)
+		}
+	}
+	for _, name := range gone {
+		co.dropCampaignLocked(name)
+		co.appendJournalLocked(&JournalRecord{Op: opCampaignGC, Name: name})
 	}
 }
 
@@ -242,7 +548,10 @@ func (co *Coordinator) sweepLocked() {
 // coordinator's — a worker built from different flags (or a different
 // binary) would claim indices that name other campaigns, so the
 // mismatch is rejected up front rather than surfacing as a corrupt
-// merge. Returns the worker id used in every subsequent call.
+// merge. A worker re-registering under a name the coordinator already
+// knows reattaches to its existing stats row and id, so a restarting
+// worker keeps one history instead of minting a fresh row per join.
+// Returns the worker id used in every subsequent call.
 func (co *Coordinator) Register(name string, catalog []string) (string, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -254,12 +563,23 @@ func (co *Coordinator) Register(name string, catalog []string) (string, error) {
 			return "", fmt.Errorf("coord: worker catalog disagrees at job %d (%q vs %q); run the worker with the coordinator's -matrix/-filter flags", i, catalog[i], co.catalog[i])
 		}
 	}
+	co.sweepLocked()
+	if id, ok := co.byName[name]; ok && name != "" {
+		ws := co.workers[id]
+		ws.lastSeen = co.now()
+		co.appendJournalLocked(&JournalRecord{Op: opRegister, Worker: id, WorkerName: name})
+		return id, nil
+	}
 	co.nextID++
 	id := fmt.Sprintf("w%d", co.nextID)
 	ws := &workerStats{id: id, name: name, lastSeen: co.now()}
 	co.workers[id] = ws
 	co.order = append(co.order, id)
+	if name != "" {
+		co.byName[name] = id
+	}
 	co.m.workers.Set(int64(len(co.workers)))
+	co.appendJournalLocked(&JournalRecord{Op: opRegister, Worker: id, WorkerName: name})
 	return id, nil
 }
 
@@ -276,9 +596,28 @@ const (
 	ClaimDrained
 )
 
-// Claim leases the lowest-index pending job to the worker. A granted
-// claim must be completed before its lease expires, or renewed via
-// Renew; otherwise it requeues for other workers.
+// jobPriorityLocked returns the best priority among unfinished
+// campaigns containing index i. The default campaign contains every
+// index at priority zero, so the result is at least zero and — with no
+// submitted campaigns — uniformly zero, which keeps claiming in plain
+// lowest-index order. Callers hold co.mu.
+func (co *Coordinator) jobPriorityLocked(i int) int {
+	best := 0
+	for _, name := range co.campOrder {
+		c := co.campaigns[name]
+		if c.done < c.jobs && c.member[i] && c.priority > best {
+			best = c.priority
+		}
+	}
+	return best
+}
+
+// Claim leases a pending job to the worker: the job in the
+// highest-priority unfinished campaign, lowest catalog index breaking
+// ties (with only the default campaign that is simply the lowest
+// pending index). A granted claim must be completed before its lease
+// expires, or renewed via Renew; otherwise it requeues for other
+// workers.
 func (co *Coordinator) Claim(workerID string) (idx int, status ClaimStatus, err error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -292,17 +631,26 @@ func (co *Coordinator) Claim(workerID string) (idx int, status ClaimStatus, err 
 		co.m.claimDrained.Inc()
 		return 0, ClaimDrained, nil
 	}
+	best, bestPrio := -1, 0
 	for i := range co.jobs {
-		if co.jobs[i].phase == jobPending {
-			co.jobs[i] = jobRecord{phase: jobClaimed, worker: workerID, expires: co.now().Add(co.ttl)}
-			ws.claims++
-			co.m.claimGranted.Inc()
-			co.updateGaugesLocked()
-			return i, ClaimGranted, nil
+		if co.jobs[i].phase != jobPending {
+			continue
+		}
+		if p := co.jobPriorityLocked(i); best < 0 || p > bestPrio {
+			best, bestPrio = i, p
 		}
 	}
-	co.m.claimWait.Inc()
-	return 0, ClaimWait, nil
+	if best < 0 {
+		co.m.claimWait.Inc()
+		return 0, ClaimWait, nil
+	}
+	deadline := co.now().Add(co.ttl)
+	co.jobs[best] = jobRecord{phase: jobClaimed, worker: workerID, expires: deadline}
+	ws.claims++
+	co.m.claimGranted.Inc()
+	co.appendJournalLocked(&JournalRecord{Op: opClaim, Worker: workerID, Index: best, ExpiresMillis: deadline.UnixMilli()})
+	co.updateGaugesLocked()
+	return best, ClaimGranted, nil
 }
 
 // Renew extends the leases the worker still holds on the given
@@ -320,6 +668,7 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 	ws.lastSeen = co.now()
 	co.sweepLocked()
 	deadline := co.now().Add(co.ttl)
+	var extended []int
 	for _, i := range indices {
 		if i < 0 || i >= len(co.jobs) {
 			return nil, nil, fmt.Errorf("coord: renew index %d out of range [0,%d)", i, len(co.jobs))
@@ -331,6 +680,7 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 			ws.renewals++
 			co.m.renewals.Inc()
 			renewed = append(renewed, i)
+			extended = append(extended, i)
 		case j.phase == jobDone && j.doneBy == workerID:
 			// The worker's own completion landed between its renew
 			// snapshot and this call — the lease was consumed, not
@@ -340,7 +690,36 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 			lost = append(lost, i)
 		}
 	}
+	if len(extended) > 0 {
+		co.appendJournalLocked(&JournalRecord{Op: opRenew, Worker: workerID, Indices: extended, ExpiresMillis: deadline.UnixMilli()})
+	}
 	return renewed, lost, nil
+}
+
+// recordOutcomeLocked installs one job's outcome and updates worker,
+// campaign, and aggregate counters — the state change shared by a live
+// Complete and a journal replay. The finish time stamps campaigns the
+// outcome completes. Returns the outcome's injection-run count.
+// Callers hold co.mu (or own co exclusively, as Restore does).
+func (co *Coordinator) recordOutcomeLocked(workerID string, idx int, o *Outcome, at time.Time) int {
+	co.jobs[idx] = jobRecord{phase: jobDone, outcome: o, doneBy: workerID}
+	runs := countRuns(o)
+	if ws := co.workers[workerID]; ws != nil {
+		ws.completions++
+		ws.runsDone += runs
+	}
+	co.done++
+	co.runsDone += runs
+	for _, name := range co.campOrder {
+		c := co.campaigns[name]
+		if c.member[idx] {
+			c.done++
+			if c.done == c.jobs && c.finishedAt.IsZero() {
+				c.finishedAt = at
+			}
+		}
+	}
+	return runs
 }
 
 // Complete records one job's outcome. The first completion for an
@@ -375,17 +754,18 @@ func (co *Coordinator) Complete(workerID string, idx int, out Outcome) (duplicat
 		ws.duplicates++
 		co.duplicates++
 		co.m.duplicates.Inc()
+		co.appendJournalLocked(&JournalRecord{Op: opComplete, Worker: workerID, Index: idx, Duplicate: true})
 		co.mu.Unlock()
 		return true, nil
 	}
 	o := out
-	*j = jobRecord{phase: jobDone, outcome: &o, doneBy: workerID}
-	ws.completions++
-	co.done++
-	runs := countRuns(&o)
-	ws.runsDone += runs
-	co.runsDone += runs
+	runs := co.recordOutcomeLocked(workerID, idx, &o, co.now())
+	co.liveDone++
+	co.liveRuns += runs
 	co.m.recorded.Inc()
+	jo, ref := co.journalOutcomeLocked(&o, co.catalog[idx])
+	co.appendJournalLocked(&JournalRecord{Op: opComplete, Worker: workerID, Index: idx, Outcome: jo, ResultRef: ref})
+	co.syncJournalLocked()
 	co.updateGaugesLocked()
 	allDone := co.done == len(co.jobs)
 	if allDone {
@@ -419,6 +799,108 @@ func countRuns(o *Outcome) int {
 // recorded outcome.
 func (co *Coordinator) Drained() <-chan struct{} { return co.drained }
 
+// Campaign-submission errors, distinguished by the REST layer:
+// ErrCampaignExists maps to 409 Conflict, ErrNoJobs to 400.
+var (
+	ErrCampaignExists = errors.New("coord: campaign name already exists")
+	ErrNoJobs         = errors.New("coord: campaign filter matches no catalog jobs")
+)
+
+// Submit queues a named campaign: a filtered, prioritised view over
+// the catalog. Members already completed count immediately — a
+// campaign whose work all happened before submission finishes at
+// submission. The spec must already be validated (DecodeCampaignSpec).
+func (co *Coordinator) Submit(spec CampaignSpec) (CampaignStatus, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	if _, ok := co.campaigns[spec.Name]; ok {
+		return CampaignStatus{}, fmt.Errorf("%w: %q", ErrCampaignExists, spec.Name)
+	}
+	now := co.now()
+	c, err := co.newCampaignLocked(spec.Name, spec.Filter, spec.Priority, spec.Note, now)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	co.appendJournalLocked(&JournalRecord{
+		Op: opCampaign, Name: c.name, Filter: c.filter, Priority: c.priority,
+		Note: c.note, CreatedMillis: c.createdAt.UnixMilli(),
+	})
+	co.syncJournalLocked()
+	return co.campaignStatusLocked(c), nil
+}
+
+// CampaignStatus is one campaign's point-in-time progress, for the
+// REST status endpoints and the status page.
+type CampaignStatus struct {
+	Name     string `json:"name"`
+	Filter   string `json:"filter,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Note     string `json:"note,omitempty"`
+	Jobs     int    `json:"jobs"`
+	Pending  int    `json:"pending"`
+	Claimed  int    `json:"claimed"`
+	Done     int    `json:"done"`
+	// State is "running" until every member job has an outcome, then
+	// "done".
+	State          string `json:"state"`
+	CreatedMillis  int64  `json:"created_ms"`
+	FinishedMillis int64  `json:"finished_ms,omitempty"`
+}
+
+// campaignStatusLocked snapshots one campaign. Callers hold co.mu.
+func (co *Coordinator) campaignStatusLocked(c *campaign) CampaignStatus {
+	st := CampaignStatus{
+		Name: c.name, Filter: c.filter, Priority: c.priority, Note: c.note,
+		Jobs: c.jobs, Done: c.done,
+		State:         "running",
+		CreatedMillis: c.createdAt.UnixMilli(),
+	}
+	for i, in := range c.member {
+		if !in {
+			continue
+		}
+		switch co.jobs[i].phase {
+		case jobPending:
+			st.Pending++
+		case jobClaimed:
+			st.Claimed++
+		}
+	}
+	if c.jobs > 0 && c.done == c.jobs {
+		st.State = "done"
+	}
+	if !c.finishedAt.IsZero() {
+		st.FinishedMillis = c.finishedAt.UnixMilli()
+	}
+	return st
+}
+
+// Campaign returns one campaign's status by name.
+func (co *Coordinator) Campaign(name string) (CampaignStatus, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	c, ok := co.campaigns[name]
+	if !ok {
+		return CampaignStatus{}, false
+	}
+	return co.campaignStatusLocked(c), true
+}
+
+// Campaigns returns every campaign's status in submission order,
+// default first.
+func (co *Coordinator) Campaigns() []CampaignStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweepLocked()
+	out := make([]CampaignStatus, 0, len(co.campOrder))
+	for _, name := range co.campOrder {
+		out = append(out, co.campaignStatusLocked(co.campaigns[name]))
+	}
+	return out
+}
+
 // WorkerStats is one worker's protocol counters, for reports.
 type WorkerStats struct {
 	ID, Name                                            string
@@ -439,6 +921,12 @@ type Stats struct {
 	Duplicates int           `json:"duplicates"`
 	Drained    bool          `json:"drained"`
 	Workers    []WorkerStats `json:"workers,omitempty"`
+	// Departed aggregates the counters of workers the churn sweep
+	// folded away; nil until the first departure.
+	Departed *DepartedStats `json:"departed,omitempty"`
+	// Campaigns lists every campaign view in submission order (the
+	// full-catalog default first).
+	Campaigns []CampaignStatus `json:"campaigns,omitempty"`
 }
 
 // Stats snapshots the coordinator. The sweep runs first, so the
@@ -470,6 +958,13 @@ func (co *Coordinator) Stats() Stats {
 			Claims: ws.claims, Renewals: ws.renewals, Completions: ws.completions,
 			Duplicates: ws.duplicates, Expiries: ws.expiries,
 		})
+	}
+	if co.departed.Workers > 0 {
+		d := co.departed
+		st.Departed = &d
+	}
+	for _, name := range co.campOrder {
+		st.Campaigns = append(st.Campaigns, co.campaignStatusLocked(co.campaigns[name]))
 	}
 	return st
 }

@@ -112,6 +112,7 @@ func (s *Server) register(w http.ResponseWriter, r *http.Request) {
 		LeaseMillis: s.co.LeaseTTL().Milliseconds(),
 		PollMillis:  s.pollInterval().Milliseconds(),
 		Jobs:        len(s.co.catalog),
+		Resumed:     s.co.Resumed(),
 	})
 }
 

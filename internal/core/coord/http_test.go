@@ -121,11 +121,11 @@ func TestHTTPRejectsMalformed(t *testing.T) {
 	}{
 		"junk register":     {"/v1/coord/register", "{", http.StatusBadRequest},
 		"wrong proto":       {"/v1/coord/claim", `{"proto":"eptest-coord/0","worker_id":"w1"}`, http.StatusBadRequest},
-		"no worker":         {"/v1/coord/claim", `{"proto":"eptest-coord/1"}`, http.StatusBadRequest},
-		"unknown worker":    {"/v1/coord/claim", `{"proto":"eptest-coord/1","worker_id":"w9"}`, http.StatusConflict},
-		"negative complete": {"/v1/coord/complete", `{"proto":"eptest-coord/1","worker_id":"w9","index":-1,"outcome":{"name":"x"}}`, http.StatusBadRequest},
-		"catalog mismatch":  {"/v1/coord/register", `{"proto":"eptest-coord/1","worker":"w","catalog":["zzz"]}`, http.StatusConflict},
-		"empty label":       {"/v1/coord/register", `{"proto":"eptest-coord/1","worker":"w","catalog":[""]}`, http.StatusBadRequest},
+		"no worker":         {"/v1/coord/claim", `{"proto":"eptest-coord/2"}`, http.StatusBadRequest},
+		"unknown worker":    {"/v1/coord/claim", `{"proto":"eptest-coord/2","worker_id":"w9"}`, http.StatusConflict},
+		"negative complete": {"/v1/coord/complete", `{"proto":"eptest-coord/2","worker_id":"w9","index":-1,"outcome":{"name":"x"}}`, http.StatusBadRequest},
+		"catalog mismatch":  {"/v1/coord/register", `{"proto":"eptest-coord/2","worker":"w","catalog":["zzz"]}`, http.StatusConflict},
+		"empty label":       {"/v1/coord/register", `{"proto":"eptest-coord/2","worker":"w","catalog":[""]}`, http.StatusBadRequest},
 	}
 	for name, tc := range cases {
 		if got := post(tc.path, tc.body); got != tc.want {

@@ -1,0 +1,546 @@
+package coord
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/store"
+)
+
+// JournalSchemaVersion identifies the coordinator's durable-state
+// record shape. A journal written by a different schema is rejected at
+// restore rather than half-understood. Bump it on any incompatible
+// record change.
+const JournalSchemaVersion = "eptest-coordlog/1"
+
+// Journal record ops. Each state transition the coordinator makes is
+// appended as one record; replaying them in order rebuilds the queue.
+const (
+	opMeta       = "meta"        // journal header: schema, catalog identity, totals
+	opCampaign   = "campaign"    // a named campaign was submitted
+	opRegister   = "register"    // a worker joined (or reattached)
+	opClaim      = "claim"       // a lease was granted (absolute deadline)
+	opRenew      = "renew"       // leases were extended (absolute deadline)
+	opExpire     = "expire"      // a lease expired and its job requeued
+	opComplete   = "complete"    // an outcome was recorded (or discarded as duplicate)
+	opWorkerGone = "worker-gone" // a departed worker was folded into aggregate totals
+	opCampaignGC = "campaign-gc" // a finished campaign passed retention and was dropped
+)
+
+// JournalCounters carries one worker's protocol counters inside
+// snapshot register records, so a compacted journal loses no history.
+type JournalCounters struct {
+	Claims      int `json:"claims,omitempty"`
+	Renewals    int `json:"renewals,omitempty"`
+	Completions int `json:"completions,omitempty"`
+	Duplicates  int `json:"duplicates,omitempty"`
+	Expiries    int `json:"expiries,omitempty"`
+	RunsDone    int `json:"runs_done,omitempty"`
+}
+
+// JournalRecord is one line of the coordinator journal. The op decides
+// which fields are meaningful; every record carries its wall-clock
+// timestamp so replay can restore heartbeat ages and campaign history.
+// Lease records carry absolute deadlines (not TTL offsets), so an
+// in-flight lease survives a quick coordinator restart and a stale one
+// requeues at the first sweep after restore.
+type JournalRecord struct {
+	Op       string `json:"op"`
+	AtMillis int64  `json:"at_ms,omitempty"`
+
+	// meta fields — journal identity plus aggregate totals at snapshot
+	// time (incremental records re-accumulate on top of them).
+	Schema      string         `json:"schema,omitempty"`
+	CatalogHash string         `json:"catalog_hash,omitempty"`
+	Jobs        int            `json:"jobs,omitempty"`
+	LeaseMillis int64          `json:"lease_ms,omitempty"`
+	Requeues    int            `json:"requeues,omitempty"`
+	Expiries    int            `json:"expiries,omitempty"`
+	Duplicates  int            `json:"duplicates,omitempty"`
+	Departed    *DepartedStats `json:"departed,omitempty"`
+
+	// campaign fields.
+	Name           string `json:"name,omitempty"`
+	Filter         string `json:"filter,omitempty"`
+	Priority       int    `json:"priority,omitempty"`
+	Note           string `json:"note,omitempty"`
+	CreatedMillis  int64  `json:"created_ms,omitempty"`
+	FinishedMillis int64  `json:"finished_ms,omitempty"`
+
+	// worker fields. Counters rides only in snapshot register records.
+	Worker     string           `json:"worker,omitempty"`
+	WorkerName string           `json:"worker_name,omitempty"`
+	Counters   *JournalCounters `json:"counters,omitempty"`
+
+	// lease fields. Index deliberately has no omitempty: job 0 is real.
+	Index         int   `json:"index"`
+	Indices       []int `json:"indices,omitempty"`
+	ExpiresMillis int64 `json:"expires_ms,omitempty"`
+
+	// completion fields. When ResultRef is set the outcome's Result
+	// bytes are elided — the campaign result is cache-resident under
+	// Outcome.Fingerprint and is re-encoded from the store at restore,
+	// byte-identically (the cache codec is canonical).
+	Duplicate bool     `json:"duplicate,omitempty"`
+	Outcome   *Outcome `json:"outcome,omitempty"`
+	ResultRef bool     `json:"result_ref,omitempty"`
+}
+
+// Journal is the coordinator's durable-state sink. FileJournal persists
+// records as JSON lines through the store's journal file; MemJournal
+// backs fake-clock tests. A nil Journal in Options means in-memory
+// operation (the pre-durability behaviour, and what unit tests that do
+// not care about restarts use).
+type Journal interface {
+	// Append records one state transition.
+	Append(rec *JournalRecord) error
+	// Sync flushes appended records to stable storage; called after
+	// completion records, the expensive-to-lose ones.
+	Sync() error
+	// Rewrite atomically replaces the journal with a compacted
+	// snapshot (the restore path folds, then compacts).
+	Rewrite(recs []*JournalRecord) error
+}
+
+// FileJournal persists coordinator records as JSON lines in a
+// store-directory journal file (<store>/coord/journal.jsonl).
+type FileJournal struct {
+	j *store.Journal
+}
+
+// OpenFileJournal reads every intact record from the journal at path
+// (a missing file is an empty journal; a torn trailing line from a
+// crash mid-append is dropped) and opens the file for appending.
+func OpenFileJournal(path string) (*FileJournal, []*JournalRecord, error) {
+	lines, err := store.ReadJournalLines(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coord: %w", err)
+	}
+	recs := make([]*JournalRecord, 0, len(lines))
+	for i, line := range lines {
+		var r JournalRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, nil, fmt.Errorf("coord: journal %s record %d does not parse (%v); move the file aside to start a fresh queue", path, i+1, err)
+		}
+		recs = append(recs, &r)
+	}
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coord: %w", err)
+	}
+	return &FileJournal{j: j}, recs, nil
+}
+
+// Append implements Journal.
+func (f *FileJournal) Append(rec *JournalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("coord: encode journal record: %w", err)
+	}
+	return f.j.Append(b)
+}
+
+// Sync implements Journal.
+func (f *FileJournal) Sync() error { return f.j.Sync() }
+
+// Rewrite implements Journal.
+func (f *FileJournal) Rewrite(recs []*JournalRecord) error {
+	lines := make([][]byte, len(recs))
+	for i, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("coord: encode journal record: %w", err)
+		}
+		lines[i] = b
+	}
+	return f.j.Rewrite(lines)
+}
+
+// Close releases the underlying file handle.
+func (f *FileJournal) Close() error { return f.j.Close() }
+
+// MemJournal is an in-memory Journal for tests. Records round-trip
+// through the JSON codec on Append, so a replay from Records exercises
+// exactly the bytes a FileJournal would have persisted.
+type MemJournal struct {
+	recs []*JournalRecord
+}
+
+// Append implements Journal.
+func (m *MemJournal) Append(rec *JournalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	var r JournalRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	m.recs = append(m.recs, &r)
+	return nil
+}
+
+// Sync implements Journal.
+func (m *MemJournal) Sync() error { return nil }
+
+// Rewrite implements Journal.
+func (m *MemJournal) Rewrite(recs []*JournalRecord) error {
+	m.recs = append([]*JournalRecord(nil), recs...)
+	return nil
+}
+
+// Records returns the journal's current contents.
+func (m *MemJournal) Records() []*JournalRecord {
+	return append([]*JournalRecord(nil), m.recs...)
+}
+
+// CatalogHash fingerprints a job catalog for the journal's meta record:
+// a journal only replays against the exact catalog it was written for
+// (same -matrix/-filter flags), and the hash rejects a mismatch with a
+// clear diagnostic instead of replaying indices into the wrong jobs.
+func CatalogHash(catalog []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\n", len(catalog))
+	for _, l := range catalog {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// metaRecordLocked builds the journal header carrying the catalog
+// identity and the aggregate totals at this instant. Callers hold
+// co.mu.
+func (co *Coordinator) metaRecordLocked() *JournalRecord {
+	rec := &JournalRecord{
+		Op:          opMeta,
+		Schema:      JournalSchemaVersion,
+		CatalogHash: CatalogHash(co.catalog),
+		Jobs:        len(co.catalog),
+		LeaseMillis: co.ttl.Milliseconds(),
+		Requeues:    co.requeues,
+		Expiries:    co.expiries,
+		Duplicates:  co.duplicates,
+	}
+	if co.departed.Workers > 0 {
+		d := co.departed
+		rec.Departed = &d
+	}
+	return rec
+}
+
+// appendJournalLocked stamps and appends one record. Journal failures
+// degrade to in-memory operation with a single log line — a full disk
+// must not stop the fleet mid-campaign. Callers hold co.mu.
+func (co *Coordinator) appendJournalLocked(rec *JournalRecord) {
+	if co.journal == nil {
+		return
+	}
+	rec.AtMillis = co.now().UnixMilli()
+	if err := co.journal.Append(rec); err != nil {
+		co.journalErrOnce.Do(func() {
+			co.logf("coord: journal append failed (queue state will not survive a restart): %v", err)
+		})
+	}
+}
+
+// syncJournalLocked flushes the journal after expensive-to-lose
+// records. Callers hold co.mu.
+func (co *Coordinator) syncJournalLocked() {
+	if co.journal == nil {
+		return
+	}
+	if err := co.journal.Sync(); err != nil {
+		co.journalErrOnce.Do(func() {
+			co.logf("coord: journal sync failed (queue state may not survive a restart): %v", err)
+		})
+	}
+}
+
+// journalOutcomeLocked builds the completion record's outcome payload,
+// eliding the result bytes when the campaign result is cache-resident
+// under its fingerprint (ensuring it is, with a Get-then-Put through
+// Options.Results). Callers hold co.mu.
+func (co *Coordinator) journalOutcomeLocked(o *Outcome, label string) (*Outcome, bool) {
+	jo := *o
+	if co.results == nil || o.Fingerprint == "" || o.Err != "" {
+		return &jo, false
+	}
+	if _, ok := co.results.Get(o.Fingerprint); !ok {
+		res, err := store.DecodeResult(o.Result)
+		if err != nil {
+			return &jo, false
+		}
+		if err := co.results.Put(o.Fingerprint, label, res); err != nil {
+			return &jo, false
+		}
+	}
+	jo.Result = nil
+	return &jo, true
+}
+
+// Restore rebuilds a coordinator from its journal. With no records it
+// is New (and writes the journal header). Otherwise the records are
+// folded in order — campaigns resubmitted, workers re-registered with
+// their counters, in-flight leases restored at their absolute
+// deadlines (stale ones requeue at the first sweep), completed
+// outcomes re-recorded (cache-resident results re-encoded from
+// Options.Results) — and the journal is compacted to a snapshot of the
+// folded state. The catalog must be the journal's: a hash mismatch
+// (different -matrix/-filter flags) is rejected.
+func Restore(catalog []string, opt Options, recs []*JournalRecord) (*Coordinator, error) {
+	if len(recs) == 0 {
+		return New(catalog, opt), nil
+	}
+	co := newCoordinator(catalog, opt)
+	meta := recs[0]
+	switch {
+	case meta.Op != opMeta:
+		return nil, fmt.Errorf("coord: journal does not start with a meta record (op %q); move it aside to start fresh", meta.Op)
+	case meta.Schema != JournalSchemaVersion:
+		return nil, fmt.Errorf("coord: journal schema %q, this binary writes %q; finish the campaign with the old binary or move the journal aside", meta.Schema, JournalSchemaVersion)
+	case meta.Jobs != len(catalog) || meta.CatalogHash != CatalogHash(catalog):
+		return nil, fmt.Errorf("coord: journal was written for a different %d-job catalog; restart with the journal's -matrix/-filter flags, or move %s aside to start fresh", meta.Jobs, "the journal")
+	}
+	co.requeues = meta.Requeues
+	co.expiries = meta.Expiries
+	co.duplicates = meta.Duplicates
+	if meta.Departed != nil {
+		co.departed = *meta.Departed
+	}
+	for i, rec := range recs[1:] {
+		if err := co.foldLocked(rec); err != nil {
+			return nil, fmt.Errorf("coord: journal record %d: %w", i+2, err)
+		}
+	}
+	co.resumed = true
+	co.updateGaugesLocked()
+	co.m.workers.Set(int64(len(co.workers)))
+	for _, name := range co.campOrder {
+		co.updateCampaignGaugesLocked(co.campaigns[name])
+	}
+	if co.done == len(co.jobs) && len(co.jobs) > 0 {
+		close(co.drained)
+	}
+	if co.journal != nil {
+		if err := co.journal.Rewrite(co.snapshotLocked()); err != nil {
+			co.logf("coord: journal compaction failed (restart will replay the full log): %v", err)
+		}
+	}
+	return co, nil
+}
+
+// foldLocked applies one journal record to the coordinator being
+// restored. Restore owns co exclusively, so no locking is needed; the
+// Locked suffix marks the invariant it shares with the live paths.
+func (co *Coordinator) foldLocked(rec *JournalRecord) error {
+	at := time.UnixMilli(rec.AtMillis)
+	// workerAt resolves (creating if the journal predates a snapshot
+	// that would have carried the register record) the worker row.
+	workerAt := func(id, name string) *workerStats {
+		ws := co.workers[id]
+		if ws == nil {
+			ws = &workerStats{id: id, name: name, lastSeen: at}
+			co.workers[id] = ws
+			co.order = append(co.order, id)
+			if name != "" {
+				co.byName[name] = id
+			}
+			co.bumpNextIDLocked(id)
+		}
+		ws.lastSeen = at
+		return ws
+	}
+	switch rec.Op {
+	case opMeta:
+		return fmt.Errorf("unexpected mid-journal meta record")
+	case opCampaign:
+		if rec.Name == DefaultCampaignName {
+			return nil
+		}
+		if _, ok := co.campaigns[rec.Name]; ok {
+			return nil
+		}
+		c, err := co.newCampaignLocked(rec.Name, rec.Filter, rec.Priority, rec.Note, time.UnixMilli(rec.CreatedMillis))
+		if err != nil {
+			return err
+		}
+		if rec.FinishedMillis != 0 {
+			c.finishedAt = time.UnixMilli(rec.FinishedMillis)
+		} else if c.done == c.jobs {
+			c.finishedAt = at
+		}
+	case opRegister:
+		ws := workerAt(rec.Worker, rec.WorkerName)
+		if ws.name == "" && rec.WorkerName != "" {
+			ws.name = rec.WorkerName
+			co.byName[rec.WorkerName] = ws.id
+		}
+		if c := rec.Counters; c != nil {
+			ws.claims, ws.renewals, ws.completions = c.Claims, c.Renewals, c.Completions
+			ws.duplicates, ws.expiries, ws.runsDone = c.Duplicates, c.Expiries, c.RunsDone
+		}
+	case opClaim:
+		if rec.Index < 0 || rec.Index >= len(co.jobs) {
+			return fmt.Errorf("claim index %d out of range", rec.Index)
+		}
+		ws := workerAt(rec.Worker, "")
+		j := &co.jobs[rec.Index]
+		if j.phase == jobDone {
+			return nil
+		}
+		*j = jobRecord{phase: jobClaimed, worker: rec.Worker, expires: time.UnixMilli(rec.ExpiresMillis)}
+		ws.claims++
+	case opRenew:
+		ws := workerAt(rec.Worker, "")
+		deadline := time.UnixMilli(rec.ExpiresMillis)
+		for _, i := range rec.Indices {
+			if i < 0 || i >= len(co.jobs) {
+				return fmt.Errorf("renew index %d out of range", i)
+			}
+			j := &co.jobs[i]
+			if j.phase == jobClaimed && j.worker == rec.Worker {
+				j.expires = deadline
+				ws.renewals++
+			}
+		}
+	case opExpire:
+		if rec.Index < 0 || rec.Index >= len(co.jobs) {
+			return fmt.Errorf("expire index %d out of range", rec.Index)
+		}
+		j := &co.jobs[rec.Index]
+		if j.phase != jobClaimed {
+			return nil
+		}
+		if ws := co.workers[j.worker]; ws != nil {
+			ws.expiries++
+		}
+		*j = jobRecord{phase: jobPending}
+		co.expiries++
+		co.requeues++
+	case opComplete:
+		if rec.Index < 0 || rec.Index >= len(co.jobs) {
+			return fmt.Errorf("complete index %d out of range", rec.Index)
+		}
+		ws := workerAt(rec.Worker, "")
+		if rec.Duplicate || co.jobs[rec.Index].phase == jobDone {
+			ws.duplicates++
+			co.duplicates++
+			return nil
+		}
+		if rec.Outcome == nil {
+			return fmt.Errorf("complete record for job %d has no outcome", rec.Index)
+		}
+		o := *rec.Outcome
+		if rec.ResultRef {
+			res, ok := co.cachedResult(o.Fingerprint)
+			if !ok {
+				// The cache entry the record points at is gone (store
+				// pruned or moved). The queue stays consistent: the job
+				// returns to pending — clearing any lease an earlier claim
+				// record restored — and the fleet redoes it.
+				co.jobs[rec.Index] = jobRecord{phase: jobPending}
+				co.logf("coord: journal outcome for job %d (%s) references missing cache entry %s; job requeued", rec.Index, co.catalog[rec.Index], o.Fingerprint)
+				return nil
+			}
+			b, err := store.EncodeResult(res)
+			if err != nil {
+				return fmt.Errorf("re-encode cached outcome for job %d: %w", rec.Index, err)
+			}
+			o.Result = b
+		}
+		co.recordOutcomeLocked(rec.Worker, rec.Index, &o, at)
+	case opWorkerGone:
+		co.departWorkerLocked(rec.Worker)
+	case opCampaignGC:
+		co.dropCampaignLocked(rec.Name)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// cachedResult consults Options.Results for a ref-elided outcome.
+func (co *Coordinator) cachedResult(fp string) (*inject.Result, bool) {
+	if co.results == nil || fp == "" {
+		return nil, false
+	}
+	return co.results.Get(fp)
+}
+
+// bumpNextIDLocked keeps freshly minted worker ids ("w<N>") ahead of
+// every id the journal restored.
+func (co *Coordinator) bumpNextIDLocked(id string) {
+	if !strings.HasPrefix(id, "w") {
+		return
+	}
+	if n, err := strconv.Atoi(id[1:]); err == nil && n > co.nextID {
+		co.nextID = n
+	}
+}
+
+// snapshotLocked renders the coordinator's entire state as a compact
+// record list: meta with totals, campaigns, workers with counters, and
+// one lease or completion record per non-pending job. Replaying the
+// snapshot rebuilds exactly this state, so compaction loses nothing.
+// Callers hold co.mu (or own co exclusively, as Restore does).
+func (co *Coordinator) snapshotLocked() []*JournalRecord {
+	now := co.now().UnixMilli()
+	recs := []*JournalRecord{co.metaRecordLocked()}
+	recs[0].AtMillis = now
+	for _, name := range co.campOrder {
+		if name == DefaultCampaignName {
+			continue
+		}
+		c := co.campaigns[name]
+		rec := &JournalRecord{
+			Op:            opCampaign,
+			AtMillis:      now,
+			Name:          c.name,
+			Filter:        c.filter,
+			Priority:      c.priority,
+			Note:          c.note,
+			CreatedMillis: c.createdAt.UnixMilli(),
+		}
+		if !c.finishedAt.IsZero() {
+			rec.FinishedMillis = c.finishedAt.UnixMilli()
+		}
+		recs = append(recs, rec)
+	}
+	for _, id := range co.order {
+		ws := co.workers[id]
+		recs = append(recs, &JournalRecord{
+			Op:         opRegister,
+			AtMillis:   ws.lastSeen.UnixMilli(),
+			Worker:     ws.id,
+			WorkerName: ws.name,
+			Counters: &JournalCounters{
+				Claims: ws.claims, Renewals: ws.renewals, Completions: ws.completions,
+				Duplicates: ws.duplicates, Expiries: ws.expiries, RunsDone: ws.runsDone,
+			},
+		})
+	}
+	for i := range co.jobs {
+		j := &co.jobs[i]
+		switch j.phase {
+		case jobClaimed:
+			recs = append(recs, &JournalRecord{
+				Op: opClaim, AtMillis: now, Worker: j.worker, Index: i,
+				ExpiresMillis: j.expires.UnixMilli(),
+			})
+		case jobDone:
+			jo, ref := co.journalOutcomeLocked(j.outcome, co.catalog[i])
+			recs = append(recs, &JournalRecord{
+				Op: opComplete, AtMillis: now, Worker: j.doneBy, Index: i,
+				Outcome: jo, ResultRef: ref,
+			})
+		}
+	}
+	return recs
+}

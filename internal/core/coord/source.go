@@ -46,8 +46,14 @@ type Source struct {
 	// Complete enqueues and returns, so a worker starts its next run
 	// while the previous result is still on the wire, and the claim
 	// window frees immediately. The lease stays held (inflight, so the
-	// heartbeat renews it) until the upload lands.
-	uploads   chan completion
+	// heartbeat renews it) until the upload lands. The queue is an
+	// unbounded spill (guarded by mu, signalled through upSignal) —
+	// never a bounded channel, which would block worker goroutines
+	// behind a slow or briefly unreachable coordinator and stall the
+	// whole run on the wire.
+	pending   []completion  // guarded by mu
+	upClosed  bool          // guarded by mu; set once by Close
+	upSignal  chan struct{} // capacity 1: "pending or upClosed changed"
 	closeOnce sync.Once
 	uploaded  sync.WaitGroup
 
@@ -83,7 +89,7 @@ func NewSource(cl *Client, jobs []sched.Job, opts ...SourceOption) (*Source, err
 		cl:       cl,
 		jobs:     jobs,
 		inflight: make(map[int]bool),
-		uploads:  make(chan completion, 128),
+		upSignal: make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -111,7 +117,10 @@ func NewSource(cl *Client, jobs []sched.Job, opts ...SourceOption) (*Source, err
 // nothing may call Complete afterwards).
 func (s *Source) Close() {
 	s.closeOnce.Do(func() {
-		close(s.uploads)
+		s.mu.Lock()
+		s.upClosed = true
+		s.mu.Unlock()
+		s.wakeUploader()
 		s.uploaded.Wait()
 		close(s.stop)
 	})
@@ -267,7 +276,47 @@ func (s *Source) Complete(sj sched.SourcedJob, cr sched.CampaignResult) {
 		s.mu.Unlock()
 		return
 	}
-	s.uploads <- completion{seq: sj.Seq, out: out}
+	s.mu.Lock()
+	s.pending = append(s.pending, completion{seq: sj.Seq, out: out})
+	s.mu.Unlock()
+	s.wakeUploader()
+}
+
+// wakeUploader nudges the uploader without ever blocking the caller:
+// the signal channel holds one token, and a token already in flight
+// covers any number of enqueues, because the uploader drains pending
+// to empty each time it wakes.
+func (s *Source) wakeUploader() {
+	select {
+	case s.upSignal <- struct{}{}:
+	default:
+	}
+}
+
+// nextUpload blocks until a completion is available (returning it) or
+// the queue is closed and empty (returning ok=false).
+func (s *Source) nextUpload() (completion, bool) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			c := s.pending[0]
+			s.pending[0] = completion{}
+			s.pending = s.pending[1:]
+			if len(s.pending) == 0 {
+				// The backing array is fully consumed; release it so a
+				// burst's spill is not pinned for the rest of the run.
+				s.pending = nil
+			}
+			s.mu.Unlock()
+			return c, true
+		}
+		closed := s.upClosed
+		s.mu.Unlock()
+		if closed {
+			return completion{}, false
+		}
+		<-s.upSignal
+	}
 }
 
 // uploader drains the completion queue, retrying each upload a few
@@ -277,7 +326,11 @@ func (s *Source) Complete(sj sched.SourcedJob, cr sched.CampaignResult) {
 // attempt each with no sleeps, so Close returns promptly instead of
 // burning the retry budget on a queue of known-undeliverable results.
 func (s *Source) uploader() {
-	for c := range s.uploads {
+	for {
+		c, ok := s.nextUpload()
+		if !ok {
+			return
+		}
 		attempts := 3
 		if s.Err() != nil {
 			attempts = 1

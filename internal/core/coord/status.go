@@ -5,6 +5,7 @@ import (
 	"html/template"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -53,10 +54,17 @@ type Status struct {
 	ElapsedMillis int64   `json:"elapsed_ms"`
 	RunsPerSec    float64 `json:"runs_per_sec"`
 	// EtaMillis estimates time to drain from the observed per-job
-	// completion rate: elapsed/done × remaining. Zero once drained; -1
-	// while no job has completed yet (no rate to extrapolate).
+	// completion rate: elapsed/done × remaining, where done counts only
+	// completions this process recorded itself — a restarted
+	// coordinator that reloaded finished work from its journal has
+	// observed no throughput yet, and renders -1 ("ETA —") rather than
+	// extrapolating from work it never timed. Zero once drained; -1
+	// while this process has recorded no completion.
 	EtaMillis int64          `json:"eta_ms"`
 	Workers   []WorkerStatus `json:"workers,omitempty"`
+	// Campaigns lists every campaign view in submission order, the
+	// full-catalog default first.
+	Campaigns []CampaignStatus `json:"campaigns,omitempty"`
 }
 
 // Status snapshots the queue for the live status surface. The expiry
@@ -89,16 +97,20 @@ func (co *Coordinator) Status() Status {
 			leases[co.jobs[i].worker] = append(leases[co.jobs[i].worker], i)
 		}
 	}
+	// Throughput and ETA extrapolate only from completions this process
+	// recorded itself (liveRuns/liveDone): after a restart the journal
+	// restores done counts but not observed rate, and dividing restored
+	// work by the seconds since restart would fabricate throughput.
 	if elapsed := now.Sub(co.startedAt); elapsed > 0 {
-		st.RunsPerSec = float64(co.runsDone) / elapsed.Seconds()
+		st.RunsPerSec = float64(co.liveRuns) / elapsed.Seconds()
 	}
 	switch {
 	case st.Drained:
 		st.EtaMillis = 0
-	case co.done == 0:
+	case co.liveDone == 0:
 		st.EtaMillis = -1
 	default:
-		perJob := now.Sub(co.startedAt) / time.Duration(co.done)
+		perJob := now.Sub(co.startedAt) / time.Duration(co.liveDone)
 		st.EtaMillis = (perJob * time.Duration(len(co.jobs)-co.done)).Milliseconds()
 	}
 	for _, id := range co.order {
@@ -114,6 +126,9 @@ func (co *Coordinator) Status() Status {
 			Expiries:           ws.expiries,
 			RunsDone:           ws.runsDone,
 		})
+	}
+	for _, name := range co.campOrder {
+		st.Campaigns = append(st.Campaigns, co.campaignStatusLocked(co.campaigns[name]))
 	}
 	return st
 }
@@ -181,6 +196,21 @@ ETA {{millis .EtaMillis}}
 </tr>
 {{end}}
 </table>
+{{if gt (len .Campaigns) 1}}
+<table>
+<tr><th class="l">campaign</th><th class="l">filter</th><th>prio</th><th>done</th><th>jobs</th><th class="l">state</th></tr>
+{{range .Campaigns}}
+<tr>
+<td class="l">{{.Name}}</td>
+<td class="l">{{.Filter}}</td>
+<td>{{.Priority}}</td>
+<td>{{.Done}}</td>
+<td>{{.Jobs}}</td>
+<td class="l">{{.State}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 </body>
 </html>
 `))
@@ -210,8 +240,13 @@ type workerView struct {
 
 // StatusPage serves the self-refreshing HTML status page at
 // GET /status: queue progress, per-worker leases and heartbeat age,
-// throughput, and the drain ETA.
+// throughput, campaign views, and the drain ETA. A template render
+// error (a half-written response after the client hung up, or a
+// template bug) is logged once per server rather than swallowed — and
+// only once, because a dashboard refreshing every two seconds would
+// otherwise repeat the same line forever.
 func StatusPage(co *Coordinator) http.Handler {
+	var renderErrOnce sync.Once
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st := co.Status()
 		v := statusView{Status: st}
@@ -226,6 +261,10 @@ func StatusPage(co *Coordinator) http.Handler {
 			})
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		statusPage.Execute(w, v)
+		if err := statusPage.Execute(w, v); err != nil {
+			renderErrOnce.Do(func() {
+				co.logf("coord: status page render failed: %v", err)
+			})
+		}
 	})
 }

@@ -161,3 +161,48 @@ func TestStatusEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusAfterRestoreShowsNoThroughput pins the restart fix: a
+// coordinator that reloaded finished work from its journal has
+// observed no throughput itself, so it reports rate 0 and ETA -1 (the
+// page's "ETA —") instead of extrapolating from work it never timed.
+func TestStatusAfterRestoreShowsNoThroughput(t *testing.T) {
+	t.Parallel()
+	co, clk, mj, cache, id := journaledCoord(t)
+	mustClaim(t, co, id, 0)
+	clk.Advance(2 * time.Second)
+	if dup, err := co.Complete(id, 0, fakeOutcomeFP(t, 0)); err != nil || dup {
+		t.Fatalf("Complete = (dup %v, %v)", dup, err)
+	}
+
+	co2 := restore(t, clk, mj, cache)
+	clk.Advance(3 * time.Second)
+	st := co2.Status()
+	if st.Done != 1 {
+		t.Fatalf("restored done = %d, want the journaled completion", st.Done)
+	}
+	if st.RunsPerSec != 0 || st.EtaMillis != -1 {
+		t.Fatalf("restored rate/eta = %g/%d, want 0/-1 until this process records a completion", st.RunsPerSec, st.EtaMillis)
+	}
+
+	srv := httptest.NewServer(coord.StatusPage(co2))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "ETA —") {
+		t.Errorf("restored status page does not render the em-dash ETA:\n%s", body)
+	}
+
+	// The first live completion restores the extrapolation.
+	mustClaim(t, co2, id, 1)
+	if dup, err := co2.Complete(id, 1, fakeOutcomeFP(t, 1)); err != nil || dup {
+		t.Fatalf("Complete = (dup %v, %v)", dup, err)
+	}
+	if st := co2.Status(); st.EtaMillis < 0 {
+		t.Errorf("post-completion eta = %d, want live extrapolation", st.EtaMillis)
+	}
+}

@@ -13,7 +13,12 @@ import (
 // request carries it and the server rejects mismatches, so a
 // mixed-version fleet fails loudly at register time instead of
 // corrupting a merge. Bump it on any incompatible change.
-const ProtocolVersion = "eptest-coord/1"
+//
+// Version 2 added the durable queue and named campaigns: register
+// replies gained Resumed and the server grew the /v1/campaigns
+// submission surface. Version-1 workers are refused at register — a
+// fleet must upgrade together.
+const ProtocolVersion = "eptest-coord/2"
 
 // Outcome is one completed job's wire form: the shard-artifact fields
 // of docs/STORE.md for a single job, with the result in the store's
@@ -122,6 +127,10 @@ type RegisterResponse struct {
 	// reports ClaimWait.
 	PollMillis int64 `json:"poll_ms"`
 	Jobs       int   `json:"jobs"`
+	// Resumed reports that the coordinator rebuilt its queue from a
+	// journal — the worker may be reattaching to a restarted service
+	// mid-campaign.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // ClaimRequest asks for the next job.
@@ -248,6 +257,69 @@ func DecodeRenew(b []byte) (*RenewRequest, error) {
 		}
 	}
 	return &r, nil
+}
+
+// CampaignSpec is the body of POST /v1/campaigns: a named, filtered,
+// prioritised view over the coordinator's catalog.
+type CampaignSpec struct {
+	// Name identifies the campaign in status endpoints and must be
+	// unique among live campaigns.
+	Name string `json:"name"`
+	// Filter selects the member jobs with the sched.FilterJobs glob
+	// language; empty means the full catalog.
+	Filter string `json:"filter,omitempty"`
+	// Priority biases claiming: pending jobs in higher-priority
+	// unfinished campaigns are handed out first. Zero is the default
+	// campaign's priority.
+	Priority int `json:"priority,omitempty"`
+	// Note is a free-form operator annotation echoed in status.
+	Note string `json:"note,omitempty"`
+}
+
+// Campaign-spec limits. Names stay path- and label-safe; the rest are
+// allocation bounds for a hostile request.
+const (
+	maxCampaignName = 64
+	maxFilterLen    = 256
+	maxNoteLen      = 1024
+	maxPriority     = 1 << 20
+)
+
+// DecodeCampaignSpec parses and validates a campaign submission. Names
+// are restricted to [A-Za-z0-9._-] so they embed safely in URL paths
+// and metric labels, and a 64-hex-character name is rejected because
+// GET /v1/campaigns/{fingerprint} is the cache transport's entry route
+// on the same path space.
+func DecodeCampaignSpec(b []byte) (*CampaignSpec, error) {
+	var s CampaignSpec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	if s.Name == "" || len(s.Name) > maxCampaignName {
+		return nil, errors.New("coord: campaign name missing or too long")
+	}
+	for i := 0; i < len(s.Name); i++ {
+		c := s.Name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return nil, fmt.Errorf("coord: campaign name contains %q (allowed: letters, digits, '.', '_', '-')", c)
+		}
+	}
+	if store.IsFingerprint(s.Name) {
+		return nil, errors.New("coord: campaign name must not look like a cache fingerprint (64 hex characters)")
+	}
+	if len(s.Filter) > maxFilterLen {
+		return nil, errors.New("coord: campaign filter too long")
+	}
+	if len(s.Note) > maxNoteLen {
+		return nil, errors.New("coord: campaign note too long")
+	}
+	if s.Priority < -maxPriority || s.Priority > maxPriority {
+		return nil, errors.New("coord: campaign priority out of range")
+	}
+	return &s, nil
 }
 
 // DecodeComplete parses and validates a complete request. The outcome

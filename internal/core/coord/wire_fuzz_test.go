@@ -20,12 +20,12 @@ func FuzzCoordWire(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`null`))
-	f.Add([]byte(`{"proto":"eptest-coord/1","worker":"w","catalog":["a/v","a/f"]}`))
-	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1"}`))
-	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","indices":[0,1,2]}`))
-	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","index":0,"outcome":{"name":"a","variant":"v","err":"boom"}}`))
+	f.Add([]byte(`{"proto":"eptest-coord/2","worker":"w","catalog":["a/v","a/f"]}`))
+	f.Add([]byte(`{"proto":"eptest-coord/2","worker_id":"w1"}`))
+	f.Add([]byte(`{"proto":"eptest-coord/2","worker_id":"w1","indices":[0,1,2]}`))
+	f.Add([]byte(`{"proto":"eptest-coord/2","worker_id":"w1","index":0,"outcome":{"name":"a","variant":"v","err":"boom"}}`))
 	f.Add([]byte(`{"proto":"eptest-coord/0","worker_id":"w1"}`))
-	f.Add([]byte(`{"proto":"eptest-coord/1","worker_id":"w1","index":-4,"outcome":{"name":"a"}}`))
+	f.Add([]byte(`{"proto":"eptest-coord/2","worker_id":"w1","index":-4,"outcome":{"name":"a"}}`))
 
 	// A tiny lease keeps the claim endpoint's long-poll hold at a few
 	// milliseconds; a realistic TTL would throttle the fuzzer to one
@@ -76,6 +76,49 @@ func FuzzCoordWire(f *testing.F) {
 			if resp.StatusCode >= 500 {
 				t.Fatalf("POST %s = %d on %q", p, resp.StatusCode, data)
 			}
+		}
+	})
+}
+
+// FuzzCampaignSpec throws arbitrary bytes at the campaign submission
+// decoder and — through a live API server — at POST /v1/campaigns. The
+// invariants mirror FuzzCoordWire: no panic, round-trip closure on
+// accepted specs, and never a 5xx. Accepted names must also never
+// collide with the cache transport's fingerprint routes.
+func FuzzCampaignSpec(f *testing.F) {
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"name":"nightly","filter":"a*","priority":3,"note":"soak"}`))
+	f.Add([]byte(`{"name":"` + string(bytes.Repeat([]byte("e"), 64)) + `"}`))
+	f.Add([]byte(`{"name":"` + string(bytes.Repeat([]byte("ab"), 32)) + `"}`)) // fingerprint-shaped
+	f.Add([]byte(`{"name":"x","priority":-9999999}`))
+	f.Add([]byte(`{"name":"../../etc","filter":"*"}`))
+
+	co := coord.New([]string{"a/v", "a/f"}, coord.Options{LeaseTTL: 10 * time.Millisecond})
+	fallback := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	srv := httptest.NewServer(coord.CampaignAPI(co, fallback, nil))
+	defer srv.Close()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if spec, err := coord.DecodeCampaignSpec(data); err == nil {
+			b, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("accepted spec does not re-encode: %v", err)
+			}
+			if _, err := coord.DecodeCampaignSpec(b); err != nil {
+				t.Fatalf("re-encoded spec rejected: %v", err)
+			}
+		}
+		resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST /v1/campaigns: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("POST /v1/campaigns = %d on %q", resp.StatusCode, data)
 		}
 	})
 }

@@ -23,7 +23,7 @@ func RouteLabel(path string) string {
 		return "status-page"
 	case path == "/metrics":
 		return "metrics"
-	case strings.HasPrefix(path, "/v1/campaigns/"):
+	case path == "/v1/campaigns", strings.HasPrefix(path, "/v1/campaigns/"):
 		return "campaigns"
 	case strings.HasPrefix(path, "/v1/shards/"):
 		return "shards"

@@ -27,5 +27,17 @@ func Coordinator(st coord.Stats) string {
 		fmt.Fprintf(&b, "  %-4s %-20s %4d claim(s) %4d completed %4d renewal(s) %3d expired %3d duplicate(s)\n",
 			ws.ID, name, ws.Claims, ws.Completions, ws.Renewals, ws.Expiries, ws.Duplicates)
 	}
+	// Departed workers and named campaigns render only when present, so
+	// a plain fleet run's section stays byte-identical to earlier
+	// releases.
+	if d := st.Departed; d != nil && d.Workers > 0 {
+		fmt.Fprintf(&b, "  departed: %d worker(s) — %d claim(s) %d completed %d expired %d duplicate(s)\n",
+			d.Workers, d.Claims, d.Completions, d.Expiries, d.Duplicates)
+	}
+	if len(st.Campaigns) > 1 {
+		for _, c := range st.Campaigns {
+			fmt.Fprintf(&b, "  campaign %-20s %4d/%d done (%s)\n", c.Name, c.Done, c.Jobs, c.State)
+		}
+	}
 	return b.String()
 }

@@ -22,6 +22,18 @@ func FilterJobs(jobs []Job, pattern string) []Job {
 	return out
 }
 
+// MatchLabel reports whether one job label matches the glob pattern —
+// the same pattern language as FilterJobs, for callers that filter
+// label catalogs rather than job slices (the coordinator resolves
+// submitted campaign specs against its catalog with it). An empty
+// pattern matches every label.
+func MatchLabel(pattern, label string) bool {
+	if pattern == "" {
+		return true
+	}
+	return globMatch(pattern, label)
+}
+
 // globMatch reports whether s matches the '*'/'?' pattern. Iterative
 // with single-star backtracking, so a pathological pattern cannot
 // blow the stack.

@@ -106,6 +106,12 @@ func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// IsFingerprint reports whether s has the shape of a content address:
+// exactly 64 lowercase hex characters. The coordinator's campaign API
+// uses it to tell campaign names apart from cache-entry fingerprints
+// on the shared /v1/campaigns/ path space.
+func IsFingerprint(s string) bool { return validFingerprint(s) }
+
 // validFingerprint reports whether fp has the only shape either
 // address space produces: 64 lowercase hex characters. Both handlers
 // gate on it BEFORE the fingerprint reaches a filesystem path —

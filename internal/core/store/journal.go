@@ -1,0 +1,141 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Journal is an append-only line log inside a store directory — the
+// persistence seam the coordinator writes its queue state through
+// (internal/core/coord journals every claim, renewal, and completion
+// as one JSON line each; docs/COORDINATOR.md specifies the records).
+//
+// The durability contract is line-granular: Append writes one line in
+// a single write(2) so a crash can tear at most the final line, and
+// ReadJournalLines drops a torn trailing fragment instead of failing,
+// so a journal survives SIGKILL at any instant. Rewrite compacts the
+// log through the store's usual temp-file-and-rename, so even
+// compaction cannot lose the previous generation to a crash.
+type Journal struct {
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. The parent directory is created too, so callers can keep
+// journals in their own store subdirectory.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record line. The line must not contain a newline;
+// the trailing '\n' is added here, and line+terminator go down in one
+// write so a crash tears at most this line, never an earlier one.
+func (j *Journal) Append(line []byte) error {
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return fmt.Errorf("store: journal record contains a newline")
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage. The coordinator
+// calls it after completion records — the ones that are expensive to
+// lose — rather than on every heartbeat.
+func (j *Journal) Sync() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with the given
+// lines — the compaction step after a restart folds the old log into a
+// snapshot. The replacement goes through a same-directory temp file
+// and rename, then reopens the append handle on the new file.
+func (j *Journal) Rewrite(lines [][]byte) error {
+	var buf bytes.Buffer
+	for _, line := range lines {
+		if bytes.IndexByte(line, '\n') >= 0 {
+			return fmt.Errorf("store: journal record contains a newline")
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal reopen: %w", err)
+	}
+	j.f = f
+	old.Close()
+	return nil
+}
+
+// Close releases the append handle.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReadJournalLines reads every complete record line from the journal
+// at path. A missing file is an empty journal, not an error, and a
+// torn trailing fragment — bytes after the last '\n', the signature of
+// a crash mid-append — is dropped, because the line-granular write
+// contract guarantees every earlier line is intact.
+func ReadJournalLines(path string) ([][]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	if i := bytes.LastIndexByte(b, '\n'); i < 0 {
+		return nil, nil
+	} else {
+		b = b[:i]
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return lines, nil
+}
