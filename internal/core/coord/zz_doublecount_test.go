@@ -1,0 +1,51 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+// run -> restore (compacts) -> restore again. Worker counters should be
+// stable across the second restore.
+func TestZZSnapshotReplayCounterFidelity(t *testing.T) {
+	catalog := []string{"a", "b", "c"}
+	j := &MemJournal{}
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	co := New(catalog, Options{Journal: j, Now: clock})
+	id, err := co.Register("w-one", catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		idx, st, err := co.Claim(id)
+		if err != nil || st != ClaimGranted {
+			t.Fatalf("claim: %v %v", st, err)
+		}
+		if _, err := co.Complete(id, idx, Outcome{Label: catalog[idx]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := co.Stats().Workers[0]
+	t.Logf("before: claims=%d completions=%d", want.Claims, want.Completions)
+
+	// First restore: folds the incremental journal, then compacts (Rewrite).
+	co2, err := Restore(catalog, Options{Journal: j, Now: clock}, j.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := co2.Stats().Workers[0]
+	t.Logf("after restore 1: claims=%d completions=%d", got2.Claims, got2.Completions)
+
+	// Second restore: folds the compacted snapshot.
+	co3, err := Restore(catalog, Options{Journal: j, Now: clock}, j.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3 := co3.Stats().Workers[0]
+	t.Logf("after restore 2: claims=%d completions=%d", got3.Claims, got3.Completions)
+	if got3.Claims != want.Claims || got3.Completions != want.Completions {
+		t.Fatalf("counter drift after snapshot replay: want claims=%d completions=%d, got claims=%d completions=%d",
+			want.Claims, want.Completions, got3.Claims, got3.Completions)
+	}
+}
