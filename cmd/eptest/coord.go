@@ -81,9 +81,11 @@ func coordJournalPath(storeDir string) string {
 // The same listener carries the campaign submission API (POST/GET
 // /v1/campaigns, sharing the path space with the cache transport's
 // fingerprint routes) and the observability surface: GET /v1/status
-// (live queue snapshot as JSON), GET /status (self-refreshing HTML
-// page over the same snapshot), and GET /metrics (Prometheus text for
-// the queue, store and HTTP metrics) — all behind the bearer token.
+// (live queue snapshot as JSON), GET /v1/findings (the canonical
+// findings report over completions so far), GET /status
+// (self-refreshing HTML page over the same snapshot), and GET /metrics
+// (Prometheus text for the queue, store and HTTP metrics) — all
+// behind the bearer token.
 func runServeCoord(addr, dir string, useMatrix bool, filter string, lease, retention time.Duration, token, pprofAddr string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
@@ -132,6 +134,7 @@ func runServeCoord(addr, dir string, useMatrix bool, filter string, lease, reten
 	mux.Handle("/v1/campaigns", campaigns)
 	mux.Handle("/v1/campaigns/", campaigns)
 	mux.Handle("GET /v1/status", coord.StatusHandler(co))
+	mux.Handle("GET /v1/findings", coord.FindingsHandler(co))
 	mux.Handle("GET /status", coord.StatusPage(co))
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("/", storeSrv)

@@ -1,0 +1,40 @@
+// The -diff mode: semantic comparison of two findings exports, with
+// exit-code gating for CI (see docs/FINDINGS.md).
+
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core/findings"
+)
+
+// runDiff loads two findings files, diffs them semantically, and
+// renders the drift. The exit code is 0 for an ungated (or drift-free)
+// diff, 1 when a class named by -diff-fail-on is non-empty, and 2 for
+// unreadable inputs or a malformed gate spec.
+func runDiff(oldPath, newPath, failOn string, stdout, stderr io.Writer) int {
+	gate, err := findings.ParseFailOn(failOn)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	old, err := findings.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	new, err := findings.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "eptest: %v\n", err)
+		return 2
+	}
+	d := findings.DiffReports(old, new)
+	d.Render(stdout)
+	if d.Fails(gate) {
+		fmt.Fprintf(stderr, "eptest: findings gate (-diff-fail-on %s) tripped\n", failOn)
+		return 1
+	}
+	return 0
+}

@@ -68,6 +68,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core/coord"
+	"repro/internal/core/findings"
 	"repro/internal/core/inject"
 	"repro/internal/core/obs"
 	"repro/internal/core/report"
@@ -108,6 +109,9 @@ type suiteConfig struct {
 	// metricsJSON, when set, dumps the worker's metrics registry to the
 	// named file after the run.
 	metricsJSON string
+	// findingsOut, when set, writes the suite's violations as canonical
+	// machine-readable finding records to the named file.
+	findingsOut string
 	// pprofAddr, when set, serves net/http/pprof on a side listener for
 	// the duration of the run.
 	pprofAddr string
@@ -120,34 +124,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eptest", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list       = fs.Bool("list", false, "list available campaigns")
-		campaign   = fs.String("campaign", "", "campaign to run (see -list)")
-		all        = fs.Bool("all", false, "run every catalog campaign, both variants, as one suite")
-		workers    = fs.Int("j", 1, "concurrent injection runs (must be >= 1)")
-		fixed      = fs.Bool("fixed", false, "run against the repaired program variant")
-		perPoint   = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
-		verbose    = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress and dispatcher stats)")
-		cache      = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose fingerprint is cached")
-		cacheURL   = fs.String("cache-url", "", "with -all: remote cache server URL (a running `eptest -serve-cache`)")
-		shard      = fs.String("shard", "", "with -all and a cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
-		matrix     = fs.Bool("matrix", false, "with -all: run the expanded campaign matrix (option sweeps, site cuts, multi-site compositions) instead of the base catalog; with -merge: render the per-axis rollup")
-		filter     = fs.String("filter", "", "with -all: run only jobs whose \"name/variant\" label matches GLOB ('*' crosses the separator, e.g. 'lpr*' or '*+nodedup*')")
-		merge      = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
-		serveCache = fs.String("serve-cache", "", "serve the -cache store over HTTP at ADDR (e.g. :7077) for -cache-url workers")
-		serveCoord = fs.String("serve-coord", "", "serve the -cache store AND the job catalog as a lease-based claim queue at ADDR for -coord-url workers (catalog selected by -matrix/-filter)")
-		coordURL   = fs.String("coord-url", "", "with -all: claim jobs from a running `eptest -serve-coord` instead of owning a static shard; the same URL is used as the shared result cache")
-		workerName = fs.String("worker", "", "with -coord-url: worker name shown in the coordinator report (default host-pid)")
-		authToken  = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
-		lease      = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
-		retention  = fs.Duration("campaign-retention", coord.DefaultCampaignRetention, "with -serve-coord: how long a finished named campaign's status record stays visible before it is garbage-collected (0 keeps records forever)")
-		snapshots  = fs.Bool("snapshots", true, "build each campaign world once and fork copy-on-write snapshots per injection run; -snapshots=false rebuilds every world from scratch (byte-identical results, for cross-checking)")
-		oracleSeed = fs.Bool("oracle-seed", true, "precompute each campaign's security-oracle state over the clean trace and evaluate each run from its armed point; -oracle-seed=false re-walks every run's full trace (byte-identical results, for cross-checking)")
-		benchJSON  = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE; with -bench-gate: the fresh run's record to judge")
-		benchGate  = fs.String("bench-gate", "", "compare the fresh -bench-json FILE against this committed baseline record and fail on a throughput regression (see -gate-tolerance)")
-		gateTol    = fs.Float64("gate-tolerance", defaultGateTolerance, "with -bench-gate: allowed fractional throughput drop before the gate fails (0.4 = fail below 60% of baseline)")
-		traceFile  = fs.String("trace", "", "with -all: record every injection run, cache round trip and coordinator call as a Chrome trace_event FILE (open in chrome://tracing or Perfetto)")
-		metricsOut = fs.String("metrics-json", "", "with -all: dump the worker's metrics registry (counters, gauges, histograms) to FILE after the run")
-		pprofAddr  = fs.String("pprof", "", "with -all, -serve-cache or -serve-coord: serve net/http/pprof (plus /metrics) on a side listener at ADDR (e.g. localhost:6060)")
+		list        = fs.Bool("list", false, "list available campaigns")
+		campaign    = fs.String("campaign", "", "campaign to run (see -list)")
+		all         = fs.Bool("all", false, "run every catalog campaign, both variants, as one suite")
+		workers     = fs.Int("j", 1, "concurrent injection runs (must be >= 1)")
+		fixed       = fs.Bool("fixed", false, "run against the repaired program variant")
+		perPoint    = fs.Bool("per-point", false, "print the per-interaction-point breakdown")
+		verbose     = fs.Bool("v", false, "print every injection (or, with -all, per-campaign progress and dispatcher stats)")
+		cache       = fs.String("cache", "", "with -all: result-store directory; replay campaigns whose fingerprint is cached")
+		cacheURL    = fs.String("cache-url", "", "with -all: remote cache server URL (a running `eptest -serve-cache`)")
+		shard       = fs.String("shard", "", "with -all and a cache: run only partition \"k/n\" of the suite and write a shard artifact to the store")
+		matrix      = fs.Bool("matrix", false, "with -all: run the expanded campaign matrix (option sweeps, site cuts, multi-site compositions) instead of the base catalog; with -merge: render the per-axis rollup")
+		filter      = fs.String("filter", "", "with -all: run only jobs whose \"name/variant\" label matches GLOB ('*' crosses the separator, e.g. 'lpr*' or '*+nodedup*')")
+		merge       = fs.String("merge", "", "merge the shard artifacts in a result-store directory and print the combined suite report")
+		serveCache  = fs.String("serve-cache", "", "serve the -cache store over HTTP at ADDR (e.g. :7077) for -cache-url workers")
+		serveCoord  = fs.String("serve-coord", "", "serve the -cache store AND the job catalog as a lease-based claim queue at ADDR for -coord-url workers (catalog selected by -matrix/-filter)")
+		coordURL    = fs.String("coord-url", "", "with -all: claim jobs from a running `eptest -serve-coord` instead of owning a static shard; the same URL is used as the shared result cache")
+		workerName  = fs.String("worker", "", "with -coord-url: worker name shown in the coordinator report (default host-pid)")
+		authToken   = fs.String("auth-token", "", "shared bearer token: required of clients by -serve-cache/-serve-coord, sent by -cache-url/-coord-url workers")
+		lease       = fs.Duration("lease", coord.DefaultLeaseTTL, "with -serve-coord: claim lease TTL; a worker silent this long loses its jobs back to the queue")
+		retention   = fs.Duration("campaign-retention", coord.DefaultCampaignRetention, "with -serve-coord: how long a finished named campaign's status record stays visible before it is garbage-collected (0 keeps records forever)")
+		snapshots   = fs.Bool("snapshots", true, "build each campaign world once and fork copy-on-write snapshots per injection run; -snapshots=false rebuilds every world from scratch (byte-identical results, for cross-checking)")
+		oracleSeed  = fs.Bool("oracle-seed", true, "precompute each campaign's security-oracle state over the clean trace and evaluate each run from its armed point; -oracle-seed=false re-walks every run's full trace (byte-identical results, for cross-checking)")
+		benchJSON   = fs.String("bench-json", "", "with -all: write machine-readable wall-time/throughput stats for the run to FILE; with -bench-gate: the fresh run's record to judge")
+		benchGate   = fs.String("bench-gate", "", "compare the fresh -bench-json FILE against this committed baseline record and fail on a throughput regression (see -gate-tolerance)")
+		gateTol     = fs.Float64("gate-tolerance", defaultGateTolerance, "with -bench-gate: allowed fractional throughput drop before the gate fails (0.4 = fail below 60% of baseline)")
+		traceFile   = fs.String("trace", "", "with -all: record every injection run, cache round trip and coordinator call as a Chrome trace_event FILE (open in chrome://tracing or Perfetto)")
+		metricsOut  = fs.String("metrics-json", "", "with -all: dump the worker's metrics registry (counters, gauges, histograms) to FILE after the run")
+		pprofAddr   = fs.String("pprof", "", "with -all, -serve-cache or -serve-coord: serve net/http/pprof (plus /metrics) on a side listener at ADDR (e.g. localhost:6060)")
+		findingsOut = fs.String("findings", "", "with -all or -merge: write the suite's violations as canonical machine-readable finding records (schema eptest-findings/1) to FILE")
+		diffOld     = fs.String("diff", "", "semantically diff two findings files: `eptest -diff OLD NEW` classifies drift as new/fixed/changed instead of byte inequality")
+		diffFailOn  = fs.String("diff-fail-on", "", "with -diff: exit non-zero when the diff contains any finding in the named drift classes (comma-separated from new, changed, fixed; or 'any'/'none')")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -186,6 +193,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *gateTol != defaultGateTolerance {
 		fmt.Fprintln(stderr, "eptest: -gate-tolerance does nothing without -bench-gate")
+		return 2
+	}
+	if *diffOld != "" {
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "eptest: -diff OLD needs exactly one NEW findings file as its argument: `eptest -diff OLD NEW`")
+			return 2
+		}
+		// Parsing stops at the first positional argument, so flags
+		// written after NEW (`eptest -diff OLD NEW -diff-fail-on new`)
+		// arrive as leftovers; take NEW, then parse the rest.
+		newPath := fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "eptest: -diff compares exactly two findings files: `eptest -diff OLD NEW`")
+			return 2
+		}
+		if *list || *all || *campaign != "" || *merge != "" || *serveCache != "" || *serveCoord != "" || *findingsOut != "" {
+			fmt.Fprintln(stderr, "eptest: -diff runs alone, comparing two findings files; produce them first with `eptest -all -findings FILE`")
+			return 2
+		}
+		return runDiff(*diffOld, newPath, *diffFailOn, stdout, stderr)
+	}
+	if *diffFailOn != "" {
+		fmt.Fprintln(stderr, "eptest: -diff-fail-on gates a findings diff; it needs -diff OLD NEW")
+		return 2
+	}
+	if *findingsOut != "" && !*all && *merge == "" {
+		fmt.Fprintln(stderr, "eptest: -findings exports a suite's violation records; it requires -all or -merge")
 		return 2
 	}
 	if (*traceFile != "" || *metricsOut != "") && !*all {
@@ -227,7 +264,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "eptest: -merge runs alone (no -list/-all/-campaign/-shard/-cache/-cache-url/-coord-url/-filter)")
 			return 2
 		}
-		return runMerge(*merge, *matrix, stdout, stderr)
+		return runMerge(*merge, *matrix, *findingsOut, stdout, stderr)
 	}
 	if *list {
 		fmt.Fprintln(stdout, "available campaigns:")
@@ -259,6 +296,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			benchJSON:   *benchJSON,
 			traceFile:   *traceFile,
 			metricsJSON: *metricsOut,
+			findingsOut: *findingsOut,
 			pprofAddr:   *pprofAddr,
 			// The coordinator hands jobs out one at a time, so the
 			// renderer's fixed upfront job list does not apply there.
@@ -497,6 +535,12 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 	if progress != nil {
 		progress.Close()
 	}
+	// The findings fold runs unconditionally, like the rest of the
+	// registry: -findings only decides whether the records leave the
+	// process, while eptest_findings_total is always live for
+	// -metrics-json and the bench record.
+	findingsReport := findings.FromSuite(sr)
+	findings.Instrument(reg, findingsReport)
 	fmt.Fprint(stdout, report.SuiteRun(sr))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.Clusters(sched.ClusterSuite(sr)))
@@ -516,7 +560,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 		if st, err := coordClient.State(); err != nil {
 			fmt.Fprintf(stdout, "coordinator: state unavailable: %v\n", err)
 		} else {
-			fmt.Fprint(stdout, report.Coordinator(st))
+			fmt.Fprint(stdout, st.Render())
 		}
 	}
 	if cfg.verbose {
@@ -529,6 +573,13 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "shard %s: wrote %d job(s) to %s\n", spec, len(jobs), dest)
+	}
+	if cfg.findingsOut != "" {
+		if err := findingsReport.WriteFile(cfg.findingsOut); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d finding record(s) to %s\n", len(findingsReport.Findings), cfg.findingsOut)
 	}
 	if tracer != nil {
 		// The explicit Close (the deferred one is a backstop for error
@@ -571,7 +622,7 @@ func runSuite(cfg suiteConfig, stdout, stderr io.Writer) int {
 // the report an unsharded -all run over the same catalog prints. With
 // matrix set (shards produced by -matrix workers), the per-axis rollup
 // is rendered in its unsharded position too.
-func runMerge(dir string, matrix bool, stdout, stderr io.Writer) int {
+func runMerge(dir string, matrix bool, findingsOut string, stdout, stderr io.Writer) int {
 	st, err := store.Open(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "eptest: %v\n", err)
@@ -591,6 +642,17 @@ func runMerge(dir string, matrix bool, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.MergedShards(infos))
+	if findingsOut != "" {
+		// Findings are keyed and sorted by content, so the merged
+		// export is byte-identical to the file a single-process -all
+		// run writes.
+		rep := findings.FromSuite(sr)
+		if err := rep.WriteFile(findingsOut); err != nil {
+			fmt.Fprintf(stderr, "eptest: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d finding record(s) to %s\n", len(rep.Findings), findingsOut)
+	}
 	if len(sr.Failed()) > 0 {
 		return 1
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core/coord"
+	"repro/internal/core/findings"
 	"repro/internal/core/obs"
 )
 
@@ -50,10 +51,11 @@ func TestTelemetryLeavesReportUnchanged(t *testing.T) {
 	dir := t.TempDir()
 	traceFile := filepath.Join(dir, "trace.json")
 	metricsFile := filepath.Join(dir, "metrics.json")
+	findingsFile := filepath.Join(dir, "findings.json")
 	var obsOut, obsErr bytes.Buffer
 	code := run([]string{
 		"-all", "-j", "4", "-filter", "turnin*",
-		"-trace", traceFile, "-metrics-json", metricsFile, "-pprof", "127.0.0.1:0",
+		"-trace", traceFile, "-metrics-json", metricsFile, "-findings", findingsFile, "-pprof", "127.0.0.1:0",
 	}, &obsOut, &obsErr)
 	if code != 0 {
 		t.Fatalf("telemetry exit = %d, stderr = %s", code, obsErr.String())
@@ -67,10 +69,20 @@ func TestTelemetryLeavesReportUnchanged(t *testing.T) {
 		t.Fatalf("telemetry run's report diverges from the plain run:\n--- plain ---\n%s\n--- telemetry ---\n%s",
 			plain.String(), obsOut.String())
 	}
-	for _, want := range []string{"wrote trace (", "wrote metrics snapshot to"} {
+	for _, want := range []string{"wrote trace (", "wrote metrics snapshot to", "finding record(s) to"} {
 		if !strings.Contains(rest, want) {
 			t.Errorf("trailer missing %q: %q", want, rest)
 		}
+	}
+
+	// The findings export decodes under its schema and carries records —
+	// the turnin suite has known violations.
+	frep, err := findings.ReadFile(findingsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frep.Findings) == 0 {
+		t.Error("findings export is empty for the turnin slice")
 	}
 
 	// The trace file is a valid Chrome trace_event array with run spans
@@ -208,6 +220,24 @@ func TestCoordObservabilitySurface(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/status page missing %q", want)
 		}
+	}
+
+	// The findings surface sits behind the same bearer token and serves
+	// the canonical findings encoding; lpr-create-site's vulnerable
+	// variant is a known violator, so the report is non-empty.
+	if code, _, _ := get(t, url, "/v1/findings", ""); code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated /v1/findings = %d, want 401", code)
+	}
+	code, ct, body = get(t, url, "/v1/findings", token)
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/v1/findings = %d %q", code, ct)
+	}
+	frep, err := findings.Decode([]byte(body))
+	if err != nil {
+		t.Fatalf("/v1/findings does not decode: %v", err)
+	}
+	if len(frep.Findings) == 0 {
+		t.Error("/v1/findings is empty after a drained violating run")
 	}
 }
 

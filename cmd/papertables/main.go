@@ -4,8 +4,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/apps/lpr"
 	"repro/internal/apps/ntreg"
@@ -13,17 +15,22 @@ import (
 	"repro/internal/baseline/ava"
 	"repro/internal/baseline/fuzz"
 	"repro/internal/baseline/tocttou"
+	"repro/internal/core/findings"
 	"repro/internal/core/inject"
 	"repro/internal/core/policy"
 	"repro/internal/core/report"
 	"repro/internal/vulndb"
 )
 
+var findingsPath = flag.String("findings", "",
+	"classify a measured findings file (written by `eptest -all -findings FILE`) against the paper's taxonomy")
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
+	flag.Parse()
 	ok := true
 	check := func(name string, got, want int) {
 		status := "ok"
@@ -45,6 +52,18 @@ func run() int {
 	check("indirect faults", s.Indirect, 81)
 	check("direct faults", s.Direct, 48)
 	check("others", s.Others, 13)
+
+	if *findingsPath != "" {
+		rep, err := findings.ReadFile(*findingsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("\n== Measured findings: %s ==\n", *findingsPath)
+		byTax, byRule := findingsTables(rep)
+		fmt.Println(byTax)
+		fmt.Println(byRule)
+	}
 
 	fmt.Println("\n== Tables 5-6: fault catalogs ==")
 	fmt.Println(report.Table5())
@@ -94,12 +113,13 @@ func run() int {
 
 	c := turnin.Campaign(turnin.Vulnerable)
 	avaRes := ava.Run("turnin", c.World, c.Policy, ava.Options{Trials: 41, Seed: 4})
+	// Count semantic violations through the canonical findings records
+	// rather than re-walking clusters: the same path the export file and
+	// the fleet surfaces use.
 	eaiSem := 0
-	for _, in := range tRes.Violations() {
-		for _, v := range in.Violations {
-			if v.Kind == policy.KindConfidentiality || v.Kind == policy.KindIntegrity {
-				eaiSem++
-			}
+	for _, f := range findings.FromResult("turnin", "vulnerable", tRes).Findings {
+		if f.Rule == policy.KindConfidentiality.String() || f.Rule == policy.KindIntegrity.String() {
+			eaiSem += len(f.Traces)
 		}
 	}
 	avaSem := avaRes.ViolationKinds[policy.KindConfidentiality] +
@@ -113,9 +133,9 @@ func run() int {
 		fmt.Fprintln(os.Stderr, crash)
 		return 1
 	}
-	findings := tocttou.AnalyzeDirs(kt.Bus.Trace())
+	windows := tocttou.AnalyzeDirs(kt.Bus.Trace())
 	fmt.Printf("  tocttou: %d check-use windows flagged in turnin; 0 in lpr (checkless creat is its blind spot)\n",
-		len(findings))
+		len(windows))
 
 	if !ok {
 		fmt.Println("\nRESULT: MISMATCH — at least one measured value differs from the paper")
@@ -123,4 +143,32 @@ func run() int {
 	}
 	fmt.Println("\nRESULT: all measured values match the paper")
 	return 0
+}
+
+// findingsTables folds a measured findings file into the paper's
+// count-table shape: finding records by taxonomy slug, and violating
+// traces by policy rule.
+func findingsTables(rep *findings.Report) (byTax, byRule report.CountTable) {
+	byTax = report.CountTable{
+		Title:  "Findings by vulnerability taxonomy",
+		Counts: map[string]int{},
+	}
+	byRule = report.CountTable{
+		Title:  "Violating traces by policy rule",
+		Counts: map[string]int{},
+	}
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		if byTax.Counts[f.Taxonomy.Slug] == 0 {
+			byTax.Categories = append(byTax.Categories, f.Taxonomy.Slug)
+		}
+		byTax.Counts[f.Taxonomy.Slug]++
+		if byRule.Counts[f.Rule] == 0 {
+			byRule.Categories = append(byRule.Categories, f.Rule)
+		}
+		byRule.Counts[f.Rule] += len(f.Traces)
+	}
+	sort.Strings(byTax.Categories)
+	sort.Strings(byRule.Categories)
+	return byTax, byRule
 }

@@ -32,18 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *entries {
 		for _, e := range db.Entries {
 			c := vulndb.Classify(e)
-			var verdict string
-			switch {
-			case c.Excluded != 0:
-				verdict = "excluded: " + c.Excluded.String()
-			case c.Others():
-				verdict = "others (environment-independent)"
-			case c.Origin != 0:
-				verdict = "indirect via " + c.Origin.String()
-			default:
-				verdict = "direct on " + c.Entity.String() + "/" + c.Attr.String()
-			}
-			fmt.Fprintf(stdout, "%-11s %-14s %-40s %s\n", e.ID, e.Program, truncate(e.Title, 40), verdict)
+			fmt.Fprintf(stdout, "%-11s %-14s %-40s %s\n", e.ID, e.Program, truncate(e.Title, 40), c.Verdict())
 		}
 		return 0
 	}

@@ -105,10 +105,11 @@ const (
 // jobRecord is one catalog entry's coordinator-side state.
 type jobRecord struct {
 	phase   jobPhase
-	worker  string    // lease holder while claimed
-	expires time.Time // lease deadline while claimed
-	outcome *Outcome  // recorded result once done
-	doneBy  string    // worker whose completion won
+	worker  string       // lease holder while claimed
+	expires time.Time    // lease deadline while claimed
+	outcome *Outcome     // recorded result once done
+	doneBy  string       // worker whose completion won
+	finds   *jobFindings // violation extract once done (nil when clean/failed)
 }
 
 // workerStats counts one registered worker's protocol activity.
@@ -703,6 +704,7 @@ func (co *Coordinator) Renew(workerID string, indices []int) (renewed, lost []in
 // Callers hold co.mu (or own co exclusively, as Restore does).
 func (co *Coordinator) recordOutcomeLocked(workerID string, idx int, o *Outcome, at time.Time) int {
 	co.jobs[idx] = jobRecord{phase: jobDone, outcome: o, doneBy: workerID}
+	co.extractFindingsLocked(idx, o)
 	runs := countRuns(o)
 	if ws := co.workers[workerID]; ws != nil {
 		ws.completions++
@@ -846,6 +848,11 @@ type CampaignStatus struct {
 	State          string `json:"state"`
 	CreatedMillis  int64  `json:"created_ms"`
 	FinishedMillis int64  `json:"finished_ms,omitempty"`
+	// Findings counts the distinct violation classes (canonical finding
+	// records) among the campaign's completed jobs; Violations counts
+	// the violating traces behind them.
+	Findings   int `json:"findings,omitempty"`
+	Violations int `json:"violations,omitempty"`
 }
 
 // campaignStatusLocked snapshots one campaign. Callers hold co.mu.
@@ -865,6 +872,12 @@ func (co *Coordinator) campaignStatusLocked(c *campaign) CampaignStatus {
 			st.Pending++
 		case jobClaimed:
 			st.Claimed++
+		}
+		// Each index is a distinct (app, variant), so summing per-job
+		// distinct signatures counts distinct finding records exactly.
+		if jf := co.jobs[i].finds; jf != nil {
+			st.Findings += jf.classes
+			st.Violations += len(jf.occs)
 		}
 	}
 	if c.jobs > 0 && c.done == c.jobs {

@@ -513,6 +513,23 @@ func (co *Coordinator) snapshotLocked() []*JournalRecord {
 		}
 		recs = append(recs, rec)
 	}
+	// Folding the snapshot's own job records re-increments worker
+	// counters (opClaim bumps claims, opComplete bumps completions and
+	// runsDone), so the counters stored here must be net of those
+	// re-derived increments or every compaction cycle inflates them.
+	claimDelta := map[string]int{}
+	doneDelta := map[string]int{}
+	runsDelta := map[string]int{}
+	for i := range co.jobs {
+		j := &co.jobs[i]
+		switch j.phase {
+		case jobClaimed:
+			claimDelta[j.worker]++
+		case jobDone:
+			doneDelta[j.doneBy]++
+			runsDelta[j.doneBy] += countRuns(j.outcome)
+		}
+	}
 	for _, id := range co.order {
 		ws := co.workers[id]
 		recs = append(recs, &JournalRecord{
@@ -521,8 +538,12 @@ func (co *Coordinator) snapshotLocked() []*JournalRecord {
 			Worker:     ws.id,
 			WorkerName: ws.name,
 			Counters: &JournalCounters{
-				Claims: ws.claims, Renewals: ws.renewals, Completions: ws.completions,
-				Duplicates: ws.duplicates, Expiries: ws.expiries, RunsDone: ws.runsDone,
+				Claims:      ws.claims - claimDelta[id],
+				Renewals:    ws.renewals,
+				Completions: ws.completions - doneDelta[id],
+				Duplicates:  ws.duplicates,
+				Expiries:    ws.expiries,
+				RunsDone:    ws.runsDone - runsDelta[id],
 			},
 		})
 	}

@@ -1,21 +1,18 @@
-package report
+package coord
 
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/core/coord"
 )
 
-// Coordinator renders the distributed-coordinator section a
-// `-coord-url` worker prints after its partial suite report: the
-// queue's drain state and, per worker, how many jobs it claimed,
-// completed, renewed, lost to lease expiry, and had discarded as late
-// duplicates. Like the dispatcher section, the split across workers
-// describes this particular fleet run and never takes part in report
-// byte-identity checks — those compare the merged report the
-// coordinator assembles.
-func Coordinator(st coord.Stats) string {
+// Render formats the distributed-coordinator section a `-coord-url`
+// worker prints after its partial suite report: the queue's drain
+// state and, per worker, how many jobs it claimed, completed, renewed,
+// lost to lease expiry, and had discarded as late duplicates. Like the
+// dispatcher section, the split across workers describes this
+// particular fleet run and never takes part in report byte-identity
+// checks — those compare the merged report the coordinator assembles.
+func (st Stats) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "coordinator: %d job(s) — %d done, %d claimed, %d pending; %d requeue(s) after lease expiry, %d duplicate completion(s) discarded\n",
 		st.Jobs, st.Done, st.Claimed, st.Pending, st.Requeues, st.Duplicates)

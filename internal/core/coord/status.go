@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/core/findings"
 )
 
 // StatusSchemaVersion identifies the /v1/status JSON shape. Bump it on
@@ -198,7 +200,7 @@ ETA {{millis .EtaMillis}}
 </table>
 {{if gt (len .Campaigns) 1}}
 <table>
-<tr><th class="l">campaign</th><th class="l">filter</th><th>prio</th><th>done</th><th>jobs</th><th class="l">state</th></tr>
+<tr><th class="l">campaign</th><th class="l">filter</th><th>prio</th><th>done</th><th>jobs</th><th>findings</th><th class="l">state</th></tr>
 {{range .Campaigns}}
 <tr>
 <td class="l">{{.Name}}</td>
@@ -206,7 +208,24 @@ ETA {{millis .EtaMillis}}
 <td>{{.Priority}}</td>
 <td>{{.Done}}</td>
 <td>{{.Jobs}}</td>
+<td>{{.Findings}}</td>
 <td class="l">{{.State}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
+{{if .Findings}}
+<h1>findings — top {{len .Findings}} by trace count</h1>
+<table>
+<tr><th class="l">id</th><th class="l">app</th><th class="l">signature</th><th class="l">severity</th><th class="l">taxonomy</th><th>traces</th></tr>
+{{range .Findings}}
+<tr>
+<td class="l">{{.ID}}</td>
+<td class="l">{{.Label}}</td>
+<td class="l">{{.Signature}}</td>
+<td class="l">{{.Severity}}</td>
+<td class="l">{{.Taxonomy.Verdict}}</td>
+<td>{{len .Traces}}</td>
 </tr>
 {{end}}
 </table>
@@ -230,6 +249,9 @@ type statusView struct {
 	Status
 	Pct     int
 	Workers []workerView
+	// Findings is the status page's findings section: the largest
+	// finding records by trace count, aggregated as completions land.
+	Findings []findings.Finding
 }
 
 // workerView decorates WorkerStatus with staleness against the TTL.
@@ -249,7 +271,7 @@ func StatusPage(co *Coordinator) http.Handler {
 	var renderErrOnce sync.Once
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st := co.Status()
-		v := statusView{Status: st}
+		v := statusView{Status: st, Findings: co.TopFindings(10)}
 		if st.Jobs > 0 {
 			v.Pct = 100 * st.Done / st.Jobs
 		}

@@ -8,7 +8,8 @@ import (
 // run -> restore (compacts) -> restore again. Worker counters should be
 // stable across the second restore.
 func TestZZSnapshotReplayCounterFidelity(t *testing.T) {
-	catalog := []string{"a", "b", "c"}
+	names := []string{"a", "b", "c"}
+	catalog := []string{"a/v", "b/v", "c/v"}
 	j := &MemJournal{}
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
@@ -22,7 +23,8 @@ func TestZZSnapshotReplayCounterFidelity(t *testing.T) {
 		if err != nil || st != ClaimGranted {
 			t.Fatalf("claim: %v %v", st, err)
 		}
-		if _, err := co.Complete(id, idx, Outcome{Label: catalog[idx]}); err != nil {
+		out := Outcome{Name: names[idx], Variant: "v", Err: "not run"}
+		if _, err := co.Complete(id, idx, out); err != nil {
 			t.Fatal(err)
 		}
 	}

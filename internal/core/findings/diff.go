@@ -1,0 +1,231 @@
+// Semantic diffing of findings reports, modeled on Golangvuln's dbdiff:
+// findings match by stable ID, and drift classifies as new / fixed /
+// changed rather than byte inequality, so catalog reorderings and
+// cosmetic re-renders never trip a CI gate.
+
+package findings
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Drift classes.
+const (
+	ClassNew     = "new"
+	ClassFixed   = "fixed"
+	ClassChanged = "changed"
+)
+
+// Delta is one drifted finding.
+type Delta struct {
+	// Class is new, fixed, or changed.
+	Class string `json:"class"`
+	ID    string `json:"id"`
+	App   string `json:"app"`
+	// Variant may be empty for base-catalog jobs.
+	Variant   string `json:"variant,omitempty"`
+	Signature string `json:"signature"`
+	// Severity is the new side's severity (the old side's for fixed).
+	Severity string `json:"severity"`
+	// Detail explains what drifted, for changed findings.
+	Detail string `json:"detail,omitempty"`
+	// TracesOld and TracesNew count each side's triggering traces.
+	TracesOld int `json:"traces_old"`
+	TracesNew int `json:"traces_new"`
+}
+
+// Diff is the semantic comparison of two reports.
+type Diff struct {
+	// OldCount and NewCount are each side's total finding counts.
+	OldCount int `json:"old_count"`
+	NewCount int `json:"new_count"`
+	// Unchanged counts findings present on both sides with no drift.
+	Unchanged int `json:"unchanged"`
+	// Deltas lists every drifted finding, new then changed then fixed,
+	// each class in canonical (app, variant, signature) order.
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// Count returns the number of deltas in the given class.
+func (d *Diff) Count(class string) int {
+	n := 0
+	for i := range d.Deltas {
+		if d.Deltas[i].Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether the diff carries no drift at all.
+func (d *Diff) Empty() bool { return len(d.Deltas) == 0 }
+
+// triggerKey identifies one trace for trigger-set comparison. Detail is
+// deliberately excluded: oracle phrasing may evolve without the
+// perturbation that triggers the weakness changing.
+func triggerKey(t Trace) string {
+	return t.Point + "|" + t.Fault + "|" + t.Object
+}
+
+// triggerDrift compares two trigger multisets and renders the drift, or
+// "" when they match.
+func triggerDrift(old, new *Finding) string {
+	count := map[string]int{}
+	for _, t := range old.Traces {
+		count[triggerKey(t)]++
+	}
+	added, removed := 0, 0
+	for _, t := range new.Traces {
+		k := triggerKey(t)
+		if count[k] > 0 {
+			count[k]--
+		} else {
+			added++
+		}
+	}
+	for _, n := range count {
+		removed += n
+	}
+	if added == 0 && removed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("+%d/-%d trigger(s) (%d → %d traces)",
+		added, removed, len(old.Traces), len(new.Traces))
+}
+
+// DiffReports semantically compares two reports. Findings match by ID;
+// a matched pair is changed when its severity or trigger set drifted.
+func DiffReports(old, new *Report) *Diff {
+	d := &Diff{OldCount: len(old.Findings), NewCount: len(new.Findings)}
+	oldByID := make(map[string]*Finding, len(old.Findings))
+	for i := range old.Findings {
+		oldByID[old.Findings[i].ID] = &old.Findings[i]
+	}
+	newByID := make(map[string]*Finding, len(new.Findings))
+	for i := range new.Findings {
+		f := &new.Findings[i]
+		newByID[f.ID] = f
+		of, ok := oldByID[f.ID]
+		if !ok {
+			d.Deltas = append(d.Deltas, Delta{
+				Class: ClassNew, ID: f.ID, App: f.App, Variant: f.Variant,
+				Signature: f.Signature, Severity: f.Severity,
+				TracesNew: len(f.Traces),
+			})
+			continue
+		}
+		var drift []string
+		if of.Severity != f.Severity {
+			drift = append(drift, fmt.Sprintf("severity %s → %s", of.Severity, f.Severity))
+		}
+		if td := triggerDrift(of, f); td != "" {
+			drift = append(drift, td)
+		}
+		if len(drift) == 0 {
+			d.Unchanged++
+			continue
+		}
+		d.Deltas = append(d.Deltas, Delta{
+			Class: ClassChanged, ID: f.ID, App: f.App, Variant: f.Variant,
+			Signature: f.Signature, Severity: f.Severity,
+			Detail:    strings.Join(drift, "; "),
+			TracesOld: len(of.Traces), TracesNew: len(f.Traces),
+		})
+	}
+	for i := range old.Findings {
+		f := &old.Findings[i]
+		if _, ok := newByID[f.ID]; ok {
+			continue
+		}
+		d.Deltas = append(d.Deltas, Delta{
+			Class: ClassFixed, ID: f.ID, App: f.App, Variant: f.Variant,
+			Signature: f.Signature, Severity: f.Severity,
+			TracesOld: len(f.Traces),
+		})
+	}
+	classRank := map[string]int{ClassNew: 0, ClassChanged: 1, ClassFixed: 2}
+	sort.Slice(d.Deltas, func(i, j int) bool {
+		a, b := &d.Deltas[i], &d.Deltas[j]
+		if classRank[a.Class] != classRank[b.Class] {
+			return classRank[a.Class] < classRank[b.Class]
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Signature < b.Signature
+	})
+	return d
+}
+
+// Render writes the diff in its stable human-readable form.
+func (d *Diff) Render(w io.Writer) {
+	fmt.Fprintf(w, "findings diff: %d old, %d new finding(s)\n", d.OldCount, d.NewCount)
+	fmt.Fprintf(w, "  new %d · changed %d · fixed %d · unchanged %d\n",
+		d.Count(ClassNew), d.Count(ClassChanged), d.Count(ClassFixed), d.Unchanged)
+	if d.Empty() {
+		fmt.Fprintln(w, "no drift.")
+		return
+	}
+	cur := ""
+	for i := range d.Deltas {
+		dd := &d.Deltas[i]
+		if dd.Class != cur {
+			cur = dd.Class
+			fmt.Fprintf(w, "\n%s:\n", cur)
+		}
+		label := dd.App
+		if dd.Variant != "" {
+			label += "/" + dd.Variant
+		}
+		switch dd.Class {
+		case ClassNew:
+			fmt.Fprintf(w, "  %s  %s  %s  [%s]  %d trace(s)\n",
+				dd.ID, label, dd.Signature, dd.Severity, dd.TracesNew)
+		case ClassFixed:
+			fmt.Fprintf(w, "  %s  %s  %s  [%s]  was %d trace(s)\n",
+				dd.ID, label, dd.Signature, dd.Severity, dd.TracesOld)
+		default:
+			fmt.Fprintf(w, "  %s  %s  %s  [%s]  %s\n",
+				dd.ID, label, dd.Signature, dd.Severity, dd.Detail)
+		}
+	}
+}
+
+// ParseFailOn parses a -diff-fail-on value: a comma-separated subset of
+// {new, changed, fixed}, or "any" for all three, or ""/"none" for no
+// gating.
+func ParseFailOn(s string) (map[string]bool, error) {
+	out := map[string]bool{}
+	switch s {
+	case "", "none":
+		return out, nil
+	case "any":
+		out[ClassNew], out[ClassChanged], out[ClassFixed] = true, true, true
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch part = strings.TrimSpace(part); part {
+		case ClassNew, ClassChanged, ClassFixed:
+			out[part] = true
+		default:
+			return nil, fmt.Errorf("findings: unknown drift class %q (want new, changed, fixed, any, or none)", part)
+		}
+	}
+	return out, nil
+}
+
+// Fails reports whether the diff contains any delta in a gated class.
+func (d *Diff) Fails(classes map[string]bool) bool {
+	for i := range d.Deltas {
+		if classes[d.Deltas[i].Class] {
+			return true
+		}
+	}
+	return false
+}

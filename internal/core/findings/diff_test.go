@@ -1,0 +1,157 @@
+package findings
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoFindingReport() *Report {
+	b := NewBuilder()
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p1", Fault: "f1", Object: "/x"})
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p2", Fault: "f2", Object: "/y"})
+	b.Add("untar", "vulnerable", sigIndirect(), Trace{Point: "p3", Fault: "f3"})
+	return b.Report()
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	a, b := twoFindingReport(), twoFindingReport()
+	d := DiffReports(a, b)
+	if !d.Empty() || d.Unchanged != 2 || d.OldCount != 2 || d.NewCount != 2 {
+		t.Fatalf("diff of identical reports: %+v", d)
+	}
+	var w strings.Builder
+	d.Render(&w)
+	if !strings.Contains(w.String(), "no drift.") {
+		t.Errorf("render: %q", w.String())
+	}
+}
+
+func TestDiffNewAndFixed(t *testing.T) {
+	old := twoFindingReport()
+	b := NewBuilder()
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p1", Fault: "f1", Object: "/x"})
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p2", Fault: "f2", Object: "/y"})
+	b.Add("maildrop", "vulnerable", sigIndirect(), Trace{Point: "p9", Fault: "f9"})
+	new := b.Report()
+	d := DiffReports(old, new)
+	if d.Count(ClassNew) != 1 || d.Count(ClassFixed) != 1 || d.Count(ClassChanged) != 0 || d.Unchanged != 1 {
+		t.Fatalf("diff: %+v", d)
+	}
+	// new sorts before fixed.
+	if d.Deltas[0].Class != ClassNew || d.Deltas[0].App != "maildrop" {
+		t.Fatalf("delta order: %+v", d.Deltas)
+	}
+	if d.Deltas[1].Class != ClassFixed || d.Deltas[1].App != "untar" {
+		t.Fatalf("delta order: %+v", d.Deltas)
+	}
+	var w strings.Builder
+	d.Render(&w)
+	out := w.String()
+	for _, want := range []string{"new:", "fixed:", "maildrop/vulnerable", "new 1 · changed 0 · fixed 1 · unchanged 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffChangedOnTriggerDrift(t *testing.T) {
+	old := twoFindingReport()
+	b := NewBuilder()
+	// Same finding identity, one extra trigger.
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p1", Fault: "f1", Object: "/x"})
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p2", Fault: "f2", Object: "/y"})
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p4", Fault: "f4", Object: "/z"})
+	b.Add("untar", "vulnerable", sigIndirect(), Trace{Point: "p3", Fault: "f3"})
+	new := b.Report()
+	d := DiffReports(old, new)
+	if d.Count(ClassChanged) != 1 || d.Count(ClassNew) != 0 || d.Count(ClassFixed) != 0 {
+		t.Fatalf("diff: %+v", d)
+	}
+	if !strings.Contains(d.Deltas[0].Detail, "+1/-0 trigger(s) (2 → 3 traces)") {
+		t.Fatalf("changed detail: %q", d.Deltas[0].Detail)
+	}
+}
+
+func TestDiffChangedOnSeverityDrift(t *testing.T) {
+	old := twoFindingReport()
+	new := twoFindingReport()
+	for i := range new.Findings {
+		if new.Findings[i].App == "untar" {
+			new.Findings[i].Severity = "low"
+		}
+	}
+	d := DiffReports(old, new)
+	if d.Count(ClassChanged) != 1 {
+		t.Fatalf("diff: %+v", d)
+	}
+	if !strings.Contains(d.Deltas[0].Detail, "severity critical → low") {
+		t.Fatalf("changed detail: %q", d.Deltas[0].Detail)
+	}
+}
+
+// Detail phrasing is excluded from identity: an oracle message reword
+// alone is not drift.
+func TestDiffIgnoresDetailReword(t *testing.T) {
+	old := twoFindingReport()
+	new := twoFindingReport()
+	for i := range new.Findings {
+		for j := range new.Findings[i].Traces {
+			new.Findings[i].Traces[j].Detail = "reworded"
+		}
+	}
+	if d := DiffReports(old, new); !d.Empty() {
+		t.Fatalf("detail reword classified as drift: %+v", d)
+	}
+}
+
+func TestParseFailOn(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{in: "", want: nil},
+		{in: "none", want: nil},
+		{in: "new", want: []string{ClassNew}},
+		{in: "new,fixed", want: []string{ClassNew, ClassFixed}},
+		{in: " new , changed ", want: []string{ClassNew, ClassChanged}},
+		{in: "any", want: []string{ClassNew, ClassChanged, ClassFixed}},
+		{in: "bogus", err: true},
+		{in: "new,bogus", err: true},
+	} {
+		got, err := ParseFailOn(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseFailOn(%q) error = %v", tc.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseFailOn(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		for _, c := range tc.want {
+			if !got[c] {
+				t.Errorf("ParseFailOn(%q) missing %q", tc.in, c)
+			}
+		}
+	}
+}
+
+func TestDiffFails(t *testing.T) {
+	old := twoFindingReport()
+	b := NewBuilder()
+	b.Add("maildrop", "vulnerable", sigIndirect(), Trace{Point: "p9", Fault: "f9"})
+	new := b.Report()
+	d := DiffReports(old, new) // one new, two fixed
+	onNew, _ := ParseFailOn("new")
+	onChanged, _ := ParseFailOn("changed")
+	any, _ := ParseFailOn("any")
+	none, _ := ParseFailOn("none")
+	if !d.Fails(onNew) || !d.Fails(any) {
+		t.Error("gate did not trip on a new finding")
+	}
+	if d.Fails(onChanged) || d.Fails(none) {
+		t.Error("gate tripped on an empty class")
+	}
+}

@@ -1,0 +1,336 @@
+// Package findings turns the suite's violation clusters into canonical
+// machine-readable records (schema eptest-findings/1), modeled on
+// govulncheck's structured results: one finding per distinct
+// (app, variant, violation signature), carrying the paper's
+// vulnerability taxonomy and the concrete fault traces that triggered
+// it, with a stable content-derived ID so two suite runs can be diffed
+// semantically instead of byte-wise.
+//
+// Determinism is the package's load-bearing property: a Report built
+// from any mix of live, cached, sharded, or fleet-merged campaign
+// results encodes to exactly the bytes a single cold in-process run
+// produces, because findings are keyed and sorted by content, traces
+// follow plan order, and the codec has a single canonical rendering.
+package findings
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core/inject"
+	"repro/internal/core/obs"
+	"repro/internal/core/policy"
+	"repro/internal/core/sched"
+	"repro/internal/vulndb"
+)
+
+// SchemaVersion names the findings file format.
+const SchemaVersion = "eptest-findings/1"
+
+// MetricName is the obs counter family findings fold into:
+// eptest_findings_total{app,rule,taxonomy} counts violating traces.
+const MetricName = "eptest_findings_total"
+
+const metricHelp = "Violating injection runs observed, by app, policy rule, and paper taxonomy."
+
+// Trace is one concrete triggering of a finding: the interaction point
+// perturbed, the catalog fault injected, and the oracle's explanation.
+type Trace struct {
+	// Point is the interaction point (site#occur) whose perturbation
+	// violated the policy.
+	Point string `json:"point"`
+	// Fault is the catalog fault id injected there.
+	Fault string `json:"fault"`
+	// Object is the environment object the violation names.
+	Object string `json:"object,omitempty"`
+	// Detail is the oracle's explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Taxonomy is the paper-style vulnerability classification of a
+// finding, derived from internal/vulndb's Section 2.4 categories.
+type Taxonomy struct {
+	// Class is the EAI fault class: "indirect" or "direct".
+	Class string `json:"class"`
+	// Origin is the Table 2 input channel, for indirect findings.
+	Origin string `json:"origin,omitempty"`
+	// Entity is the Table 3 environment entity, for direct findings.
+	Entity string `json:"entity,omitempty"`
+	// Attr is the Table 4/6 attribute, for direct findings.
+	Attr string `json:"attr,omitempty"`
+	// Verdict is the classifier's human-readable verdict, rendered
+	// exactly as `vulnclass -entries` prints database entries.
+	Verdict string `json:"verdict"`
+	// Slug is the compact token used as the `taxonomy` metric label,
+	// e.g. "indirect/user-input" or "direct/file-system/symbolic-link".
+	Slug string `json:"slug"`
+}
+
+// Finding is one canonical violation record: a distinct
+// (app, variant, signature) class with every trace that triggered it.
+type Finding struct {
+	// ID is the stable content-derived identifier ("EPT-" + 16 hex
+	// digits). See ComputeID for the stability contract.
+	ID string `json:"id"`
+	// App and Variant locate the campaign that produced the finding.
+	App     string `json:"app"`
+	Variant string `json:"variant,omitempty"`
+	// Rule is the violated policy rule.
+	Rule string `json:"rule"`
+	// Severity is derived from the rule (see severityFor).
+	Severity string `json:"severity"`
+	// Signature is the human-readable sched.Signature key:
+	// "rule/class/dimension on kind".
+	Signature string `json:"signature"`
+	// Taxonomy is the paper-style classification.
+	Taxonomy Taxonomy `json:"taxonomy"`
+	// Traces lists the concrete triggerings, in plan order.
+	Traces []Trace `json:"traces"`
+}
+
+// Label renders the finding's job label, matching sched.Job.Label.
+// Value receiver so html/template can call it on range variables.
+func (f Finding) Label() string {
+	if f.Variant == "" {
+		return f.App
+	}
+	return f.App + "/" + f.Variant
+}
+
+// Report is a findings file: the schema marker plus every finding in
+// canonical order (app, then variant, then signature).
+type Report struct {
+	Schema   string    `json:"schema"`
+	Findings []Finding `json:"findings"`
+}
+
+// Traces returns the total trace count across all findings.
+func (r *Report) Traces() int {
+	n := 0
+	for i := range r.Findings {
+		n += len(r.Findings[i].Traces)
+	}
+	return n
+}
+
+// ComputeID derives a finding's stable ID: "EPT-" plus the first 16 hex
+// digits of a SHA-256 over the versioned identity key
+// app|variant|signature. The key deliberately excludes traces and
+// severity: a finding keeps its identity while its trigger set drifts,
+// which is what lets the differ report "changed" instead of a
+// fixed/new pair.
+func ComputeID(app, variant string, sig string) string {
+	h := sha256.Sum256([]byte("eptest-findings|" + app + "|" + variant + "|" + sig))
+	return "EPT-" + hex.EncodeToString(h[:8])
+}
+
+// severityFor ranks policy rules. Arbitrary execution of untrusted code
+// outranks data-integrity and secrecy breaches; consuming untrusted
+// input without validation is a weakness but needs a second step;
+// crashes are availability-only.
+func severityFor(rule policy.Kind) string {
+	switch rule {
+	case policy.KindUntrustedExec:
+		return "critical"
+	case policy.KindIntegrity, policy.KindConfidentiality:
+		return "high"
+	case policy.KindUntrustedInput:
+		return "medium"
+	case policy.KindCrash:
+		return "low"
+	default:
+		return "unknown"
+	}
+}
+
+// taxonomyFor classifies a signature with vulndb's measured-finding
+// bridge and renders it into the record's string form.
+func taxonomyFor(sig sched.Signature) Taxonomy {
+	c := vulndb.CategoryOfFinding(sig.Class, sig.Kind, sig.Attr)
+	t := Taxonomy{
+		Class:   c.Class.String(),
+		Verdict: c.Verdict(),
+		Slug:    c.Slug(),
+	}
+	if c.Origin != 0 {
+		t.Origin = c.Origin.String()
+	}
+	if c.Entity != 0 {
+		t.Entity = c.Entity.String()
+	}
+	if c.Attr != 0 {
+		t.Attr = c.Attr.String()
+	}
+	return t
+}
+
+// Builder accumulates violation occurrences into findings. It is
+// order-insensitive across campaigns — Report sorts canonically — but
+// preserves trace order within a campaign, which is plan order.
+type Builder struct {
+	byID map[string]*Finding
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{byID: make(map[string]*Finding)}
+}
+
+// Add records one violating trace under the given app, variant, and
+// violation signature.
+func (b *Builder) Add(app, variant string, sig sched.Signature, tr Trace) {
+	id := ComputeID(app, variant, sig.String())
+	f, ok := b.byID[id]
+	if !ok {
+		f = &Finding{
+			ID:        id,
+			App:       app,
+			Variant:   variant,
+			Rule:      sig.Rule.String(),
+			Severity:  severityFor(sig.Rule),
+			Signature: sig.String(),
+			Taxonomy:  taxonomyFor(sig),
+		}
+		b.byID[id] = f
+	}
+	f.Traces = append(f.Traces, tr)
+}
+
+// AddResult folds every violation of one campaign result.
+func (b *Builder) AddResult(app, variant string, res *inject.Result) {
+	for _, in := range res.Violations() {
+		for _, v := range in.Violations {
+			sig := sched.Signature{
+				Rule:  v.Kind,
+				Class: in.Class,
+				Attr:  in.Attr,
+				Sem:   in.Sem,
+				Kind:  in.Kind,
+			}
+			b.Add(app, variant, sig, Trace{
+				Point:  in.Point,
+				Fault:  in.FaultID,
+				Object: v.Object,
+				Detail: v.Detail,
+			})
+		}
+	}
+}
+
+// Len returns the number of distinct findings accumulated so far.
+func (b *Builder) Len() int { return len(b.byID) }
+
+// Report renders the accumulated findings in canonical order. The
+// returned report copies the findings, so the builder can keep
+// accumulating (the coordinator snapshots mid-fleet).
+func (b *Builder) Report() *Report {
+	out := make([]Finding, 0, len(b.byID))
+	for _, f := range b.byID {
+		cp := *f
+		cp.Traces = append([]Trace(nil), f.Traces...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		if out[i].Variant != out[j].Variant {
+			return out[i].Variant < out[j].Variant
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return &Report{Schema: SchemaVersion, Findings: out}
+}
+
+// FromResult builds a report from a single campaign result.
+func FromResult(app, variant string, res *inject.Result) *Report {
+	b := NewBuilder()
+	b.AddResult(app, variant, res)
+	return b.Report()
+}
+
+// FromSuite builds the canonical report for a whole suite run. Failed
+// campaigns contribute nothing, matching sched.ClusterSuite.
+func FromSuite(sr *sched.SuiteResult) *Report {
+	b := NewBuilder()
+	for _, c := range sr.Campaigns {
+		if c.Err != nil || c.Result == nil {
+			continue
+		}
+		b.AddResult(c.Job.Name, c.Job.Variant, c.Result)
+	}
+	return b.Report()
+}
+
+// Encode renders the report in its canonical byte form: two-space
+// indented JSON with a trailing newline. Two reports with equal content
+// encode to equal bytes.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a findings file, rejecting unknown schemas.
+func Decode(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("findings: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("findings: schema %q, this binary reads %q", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadFile loads and decodes a findings file.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteFile encodes the report to its canonical bytes and writes them.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Count folds n violating traces into the registry's
+// eptest_findings_total family. Nil-safe like the rest of obs.
+func Count(reg *obs.Registry, app, rule string, cat vulndb.Category, n int) {
+	if reg == nil || n == 0 {
+		return
+	}
+	reg.Counter(MetricName, metricHelp,
+		"app", app, "rule", rule, "taxonomy", cat.Slug()).Add(int64(n))
+}
+
+// Instrument folds a whole report into the registry, one increment per
+// trace. The app label is the campaign name (not the full variant
+// label) to bound series cardinality.
+func Instrument(reg *obs.Registry, r *Report) {
+	if reg == nil {
+		return
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		reg.Counter(MetricName, metricHelp,
+			"app", f.App, "rule", f.Rule, "taxonomy", f.Taxonomy.Slug).Add(int64(len(f.Traces)))
+	}
+}

@@ -1,0 +1,77 @@
+package findings
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedCorpus adds one valid encoded report plus hostile shapes.
+func seedCorpus(f *testing.F) {
+	b := NewBuilder()
+	b.Add("lpr", "vulnerable", sigDirect(), Trace{Point: "p1", Fault: "f1", Object: "/x", Detail: "d"})
+	b.Add("untar", "", sigIndirect(), Trace{Point: "p2", Fault: "f2"})
+	enc, err := b.Report().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte(`{"schema":"eptest-findings/1","findings":[]}`))
+	f.Add([]byte(`{"schema":"eptest-findings/1","findings":[{"id":"EPT-0000000000000000","traces":null}]}`))
+	f.Add([]byte(`{"schema":"bogus"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+}
+
+// FuzzDecodeFindings: Decode never panics, and anything it accepts
+// round-trips through the canonical encoding byte-identically.
+func FuzzDecodeFindings(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := r.Encode()
+		if err != nil {
+			t.Fatalf("accepted report failed to encode: %v", err)
+		}
+		r2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding did not decode: %v", err)
+		}
+		enc2, err := r2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}
+
+// FuzzDiff: diffing never panics, a report diffed against itself is
+// drift-free, and delta counts always reconcile with the finding
+// counts.
+func FuzzDiff(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if d := DiffReports(r, r); !d.Empty() {
+			t.Fatalf("self-diff drifted: %+v", d)
+		}
+		empty := &Report{Schema: SchemaVersion}
+		d := DiffReports(empty, r)
+		// Every finding on the new side is new or a duplicate-ID merge;
+		// new+unchanged+changed never exceeds the new-side count.
+		if d.Count(ClassNew)+d.Count(ClassChanged)+d.Unchanged > d.NewCount {
+			t.Fatalf("delta counts exceed findings: %+v", d)
+		}
+		if d.Count(ClassFixed) != 0 {
+			t.Fatalf("diff against empty old side reported fixed findings: %+v", d)
+		}
+	})
+}
